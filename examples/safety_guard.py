@@ -1,0 +1,56 @@
+"""R2-Guard-style safety pipeline: PC reasoning over LLM category scores.
+
+Trains a probabilistic circuit on rule-generated safety data, classifies
+held-out prompts by conditional inference, prunes the circuit with
+circuit flows (Stage 2), and times the pruned kernel on the REASON
+accelerator model vs the GPU host.
+
+Run:  python examples/safety_guard.py
+"""
+
+from repro.baselines.device import RTX_A6000
+from repro.core.dag.pruning import prune_circuit_by_flow
+from repro.core.system.runner import time_kernel_on_reason
+from repro.pc.inference import conditional
+from repro.pc.learn import sample_dataset
+from repro.workloads.r2guard import R2GuardWorkload, auprc
+
+
+def main() -> None:
+    workload = R2GuardWorkload()
+    instance = workload.generate_instance("XSTest", seed=0)
+    train, test = instance.payload
+
+    # 1. Learn the guard circuit and score the held-out set.
+    scores, labels = workload.score_examples(instance)
+    baseline_auprc = auprc(scores, labels)
+    print(f"guard AUPRC (baseline circuit): {baseline_auprc:.3f}")
+
+    # 2. Adaptive pruning via circuit flows (paper Sec. IV-B-b).
+    circuit = workload.reason_kernel(instance)
+    calibration = sample_dataset(circuit, 50, seed=1)
+    pruned, report = prune_circuit_by_flow(circuit, calibration, keep_fraction=0.8)
+    print(
+        f"flow pruning: {report.edges_before} -> {report.edges_after} edges "
+        f"(bound on mean logL loss: {report.log_likelihood_bound:.4f})"
+    )
+
+    pruned_scores = [
+        conditional(pruned, {workload.label_var: 1}, {i: b for i, b in enumerate(x)})
+        for x in test.features
+    ]
+    pruned_auprc = auprc(pruned_scores, list(test.labels))
+    print(f"guard AUPRC (pruned circuit):   {pruned_auprc:.3f}")
+
+    # 3. Per-query inference cost: REASON vs the host GPU.
+    timing = time_kernel_on_reason(circuit, calibration=calibration)
+    print(
+        f"REASON per-query: {timing.cycles} cycles = {timing.seconds * 1e6:.2f} us, "
+        f"utilization {timing.utilization:.0%}"
+    )
+    gpu_s = RTX_A6000.run(workload.symbolic_profiles(instance)) / len(test.features)
+    print(f"GPU per-query:    {gpu_s * 1e6:.2f} us ({gpu_s / timing.seconds:.1f}x REASON)")
+
+
+if __name__ == "__main__":
+    main()

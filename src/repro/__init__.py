@@ -1,0 +1,24 @@
+"""repro: reproduction of "REASON: Accelerating Probabilistic Logical
+Reasoning for Scalable Neuro-Symbolic Intelligence" (HPCA 2026).
+
+Package map:
+
+* :mod:`repro.logic` — CNF/SAT (DPLL, CDCL, cube-and-conquer) and FOL
+  (unification, clausification, resolution, forward chaining);
+* :mod:`repro.pc` — probabilistic circuits (inference, flows, learning,
+  CNF compilation / weighted model counting);
+* :mod:`repro.hmm` — hidden Markov models (forward-backward, Viterbi,
+  Baum-Welch, DFA-constrained decoding);
+* :mod:`repro.core` — the paper's contribution: unified DAG
+  representation with adaptive pruning and two-input regularization,
+  the DAG→VLIW compiler, the tree-PE accelerator model, and the
+  GPU-integration system layer;
+* :mod:`repro.workloads` — the six neuro-symbolic evaluation workloads
+  over synthetic datasets;
+* :mod:`repro.baselines` — device cost models, roofline, and kernel
+  characterization;
+* :mod:`repro.profiling` — workload characterization (runtime splits,
+  sparsity).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,47 @@
+"""Hardware baseline cost models (paper Table III) and analyses.
+
+Event/roofline models of the comparison devices — Xeon CPU, RTX A6000,
+Jetson Orin NX, V100/A100, a TPU-like systolic array and a DPU-like tree
+array — plus the roofline analysis (Fig. 3(d)) and the kernel
+inefficiency characterization (Table II).  These substitute for the
+paper's real-hardware measurements and Accel-Sim runs: what the
+evaluation needs from them is relative kernel times per device class,
+which the models compute from first principles (peak throughput, memory
+bandwidth, and per-kernel-class efficiency factors measured in Table II).
+"""
+
+from repro.baselines.device import (
+    DeviceModel,
+    KernelClass,
+    KernelProfile,
+    XEON_CPU,
+    RTX_A6000,
+    ORIN_NX,
+    V100,
+    A100,
+    TPU_LIKE,
+    DPU_LIKE,
+    all_devices,
+)
+from repro.baselines.roofline import roofline_point, attainable_performance, RooflinePoint
+from repro.baselines.kernels import characterize_kernel, KernelMetrics, TABLE2_KERNELS
+
+__all__ = [
+    "DeviceModel",
+    "KernelClass",
+    "KernelProfile",
+    "XEON_CPU",
+    "RTX_A6000",
+    "ORIN_NX",
+    "V100",
+    "A100",
+    "TPU_LIKE",
+    "DPU_LIKE",
+    "all_devices",
+    "roofline_point",
+    "attainable_performance",
+    "RooflinePoint",
+    "characterize_kernel",
+    "KernelMetrics",
+    "TABLE2_KERNELS",
+]

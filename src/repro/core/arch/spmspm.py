@@ -1,0 +1,150 @@
+"""SpMSpM mode: sparse × sparse matrix multiplication on the tree PEs
+(paper Sec. V-B, third operational mode).
+
+Leaf nodes act as multipliers over matched nonzero pairs; internal
+nodes reduce partial products — the MAERI/Flexagon-style execution the
+tree array inherits.  This extends REASON beyond symbolic/probabilistic
+kernels to small neural (or neural-symbolic) layers, which is how the
+Fig. 13 neural-ops comparison runs on REASON.
+
+The functional layer uses a CSR representation and an inner-product
+dataflow: output row i, column j reduces Σ_k A[i,k]·B[k,j] over the
+intersection of A's row-i and B's column-j nonzeros.  The cycle model
+charges one tree pass per ``leaves_per_pe`` products, pipelined across
+PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.energy import EnergyModel
+
+
+@dataclass
+class CsrMatrix:
+    """Compressed sparse row matrix (float values)."""
+
+    shape: Tuple[int, int]
+    indptr: List[int]
+    indices: List[int]
+    data: List[float]
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CsrMatrix":
+        dense = np.asarray(dense, dtype=float)
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for row in dense:
+            for col, value in enumerate(row):
+                if value != 0.0:
+                    indices.append(col)
+                    data.append(float(value))
+            indptr.append(len(indices))
+        return CsrMatrix(dense.shape, indptr, indices, data)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for row in range(self.shape[0]):
+            for pos in range(self.indptr[row], self.indptr[row + 1]):
+                out[row, self.indices[pos]] = self.data[pos]
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def row(self, i: int) -> List[Tuple[int, float]]:
+        return [
+            (self.indices[p], self.data[p])
+            for p in range(self.indptr[i], self.indptr[i + 1])
+        ]
+
+    @staticmethod
+    def random(
+        rows: int, cols: int, density: float = 0.2, seed: Optional[int] = None
+    ) -> "CsrMatrix":
+        rng = np.random.default_rng(seed)
+        mask = rng.random((rows, cols)) < density
+        dense = np.where(mask, rng.normal(size=(rows, cols)), 0.0)
+        return CsrMatrix.from_dense(dense)
+
+
+@dataclass
+class SpmspmReport:
+    """Cost account of one sparse multiply on the array."""
+
+    multiplies: int = 0
+    reductions: int = 0
+    tree_passes: int = 0
+    cycles: int = 0
+    output_nnz: int = 0
+
+    @property
+    def utilization(self) -> float:
+        issued = self.tree_passes
+        if issued == 0:
+            return 0.0
+        return self.multiplies / issued  # products per pass, vs leaf count
+
+
+class SpmspmEngine:
+    """Sparse matrix-matrix multiplication on the REASON tree array."""
+
+    def __init__(self, config: ArchConfig = DEFAULT_CONFIG, energy: Optional[EnergyModel] = None):
+        self.config = config
+        self.energy = energy or EnergyModel(config=config)
+
+    def multiply(self, a: CsrMatrix, b: CsrMatrix) -> Tuple[CsrMatrix, SpmspmReport]:
+        """C = A·B with per-pass cost accounting.
+
+        Row-wise Gustavson dataflow: each nonzero A[i,k] scales B's row
+        k; the tree reduces per-column partial products.  A tree pass
+        handles up to ``leaves_per_pe`` products; passes pipeline across
+        the ``num_pes`` engines at one per cycle each once full.
+        """
+        if a.shape[1] != b.shape[0]:
+            raise ValueError("inner dimensions do not match")
+        report = SpmspmReport()
+        rows_out: List[Dict[int, float]] = []
+        for i in range(a.shape[0]):
+            accumulator: Dict[int, float] = {}
+            for k, a_val in a.row(i):
+                for j, b_val in b.row(k):
+                    accumulator[j] = accumulator.get(j, 0.0) + a_val * b_val
+                    report.multiplies += 1
+                    report.reductions += 1
+            rows_out.append(accumulator)
+
+        # Cost model: products stream through the leaves.
+        leaves = self.config.leaves_per_pe
+        report.tree_passes = -(-report.multiplies // leaves) if report.multiplies else 0
+        pipelined = -(-report.tree_passes // self.config.num_pes)
+        report.cycles = self.config.pipeline_stages + max(pipelined - 1, 0)
+        self.energy.record("alu_op", report.multiplies + report.reductions)
+        self.energy.record("sram_access", a.nnz + b.nnz)
+
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for accumulator in rows_out:
+            for j in sorted(accumulator):
+                value = accumulator[j]
+                if value != 0.0:
+                    indices.append(j)
+                    data.append(value)
+            indptr.append(len(indices))
+        result = CsrMatrix((a.shape[0], b.shape[1]), indptr, indices, data)
+        report.output_nnz = result.nnz
+        return result, report
+
+    def dense_equivalent_flops(self, a: CsrMatrix, b: CsrMatrix) -> int:
+        """FLOPs a dense engine would spend on the same shapes."""
+        m, k = a.shape
+        _, n = b.shape
+        return 2 * m * k * n

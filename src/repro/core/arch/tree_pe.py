@@ -1,0 +1,141 @@
+"""Reconfigurable tree PE: functional + cycle model (paper Sec. V-B).
+
+One PE is a complete binary tree of nodes whose datapaths reconfigure
+per VLIW instruction among three modes: PROBABILISTIC (sum/product
+aggregation), SYMBOLIC (comparator/adder BCP datapath) and SPMSPM
+(leaf multipliers + internal adders).  :meth:`TreePE.execute_config`
+evaluates one placed block bottom-up; the cycle cost of one issue is
+the pipeline depth, with per-level throughput of one block per cycle
+once the pipeline is full.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.arch.config import ArchConfig
+from repro.core.arch.energy import EnergyModel
+from repro.core.compiler.program import TreeNodeConfig
+from repro.core.dag.graph import OpType
+
+
+class PEMode(enum.Enum):
+    PROBABILISTIC = "probabilistic"
+    SYMBOLIC = "symbolic"
+    SPMSPM = "spmspm"
+
+
+@dataclass
+class PEStats:
+    instructions: int = 0
+    active_node_ops: int = 0
+    forward_ops: int = 0
+    mode_switches: int = 0
+
+    def utilization(self, nodes_per_pe: int) -> float:
+        issued = self.instructions * nodes_per_pe
+        return 0.0 if issued == 0 else self.active_node_ops / issued
+
+
+class TreePE:
+    """One tree engine; stateless between instructions except statistics."""
+
+    def __init__(self, config: ArchConfig, energy: Optional[EnergyModel] = None):
+        self.config = config
+        self.energy = energy
+        self.stats = PEStats()
+        self._mode: Optional[PEMode] = None
+
+    def set_mode(self, mode: PEMode) -> None:
+        """Reconfigure the datapath (free when already in the mode).
+
+        With ``config.reconfigurable`` off, the ablation models a fixed-
+        function array: mode switches require a pipeline drain charged
+        by the accelerator as extra cycles (see ``mode_switch_penalty``).
+        """
+        if mode is not self._mode:
+            self.stats.mode_switches += 1
+            self._mode = mode
+
+    @property
+    def mode(self) -> Optional[PEMode]:
+        return self._mode
+
+    def mode_switch_penalty(self) -> int:
+        """Extra cycles per switch when reconfiguration is disabled."""
+        return 0 if self.config.reconfigurable else self.config.pipeline_stages * 4
+
+    def execute_config(
+        self,
+        configs: Sequence[TreeNodeConfig],
+        leaf_values: Dict[int, float],
+    ) -> float:
+        """Evaluate one placed block and return the root value.
+
+        ``leaf_values`` maps PE leaf heap-positions to operand values.
+        Unconfigured positions are inert; FORWARD nodes pass their
+        single live child value upward.
+        """
+        self.stats.instructions += 1
+        values: Dict[int, float] = dict(leaf_values)
+        by_position = {c.position: c for c in configs}
+        for position in sorted(by_position, reverse=True):
+            config = by_position[position]
+            left = values.get(2 * position + 1)
+            right = values.get(2 * position + 2)
+            if config.is_forward:
+                self.stats.forward_ops += 1
+                if position in values:
+                    continue  # leaf-level forward: operand already injected
+                live = left if left is not None else right
+                if live is None:
+                    raise ValueError(f"forward node {position} has no input")
+                values[position] = live
+                continue
+            self.stats.active_node_ops += 1
+            if self.energy:
+                event = "logic_op" if config.op in (OpType.AND, OpType.OR, OpType.NOT) else "alu_op"
+                self.energy.record(event)
+            operands = [v for v in (left, right) if v is not None]
+            if not operands:
+                raise ValueError(f"op node {position} has no inputs")
+            values[position] = _apply_op(config, operands)
+        if 0 not in values:
+            raise ValueError("block did not produce a root value")
+        return values[0]
+
+    def issue_cost_cycles(self, num_blocks: int, dependent: bool = False) -> int:
+        """Cycle cost of issuing ``num_blocks`` consecutive blocks.
+
+        Independent blocks stream at one per cycle after the pipeline
+        fills; fully dependent chains pay the pipeline depth each.
+        """
+        stages = self.config.pipeline_stages
+        if num_blocks <= 0:
+            return 0
+        if dependent:
+            return num_blocks * stages
+        return stages + (num_blocks - 1)
+
+
+def _apply_op(config: TreeNodeConfig, operands: List[float]) -> float:
+    op = config.op
+    if op is OpType.SUM:
+        weights = config.child_weights or tuple(1.0 for _ in operands)
+        if len(weights) != len(operands):
+            weights = tuple(1.0 for _ in operands)
+        return sum(w * v for w, v in zip(weights, operands))
+    if op is OpType.PRODUCT:
+        out = 1.0
+        for value in operands:
+            out *= value
+        return out
+    if op is OpType.AND:
+        return 1.0 if all(v > 0 for v in operands) else 0.0
+    if op is OpType.OR:
+        return 1.0 if any(v > 0 for v in operands) else 0.0
+    if op is OpType.NOT:
+        return 1.0 - operands[0]
+    raise TypeError(f"op {op} not executable on a tree node")

@@ -1,0 +1,179 @@
+"""Compiler Step 1: block decomposition (paper Fig. 7).
+
+A greedy pass over the regularized DAG groups interior nodes into
+tree-shaped *execution blocks* whose depth does not exceed the hardware
+tree depth.  A node absorbs its children's blocks when the combined
+depth stays within budget and no child value is needed elsewhere
+(shared nodes become block outputs so their value materializes to
+registers once).  Each block then maps onto one tree-PE issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dag.graph import Dag, DagNode, OpType
+
+_LEAF_OPS = {OpType.LITERAL, OpType.LEAF, OpType.INPUT}
+
+
+@dataclass
+class Block:
+    """A schedulable subtree of the DAG.
+
+    ``nodes`` lists interior DAG node ids in topological order;
+    ``inputs`` the DAG node ids whose values feed the block (leaves or
+    other blocks' outputs); ``output`` the root node id whose value the
+    block produces.
+    """
+
+    block_id: int
+    nodes: List[int] = field(default_factory=list)
+    inputs: List[int] = field(default_factory=list)
+    output: int = -1
+    depth: int = 0
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.nodes)
+
+
+def decompose_blocks(dag: Dag, max_depth: int) -> List[Block]:
+    """Greedy depth-bounded decomposition into tree-shaped blocks.
+
+    Requires a two-input-regularized DAG (fan-in ≤ 2).  The returned
+    blocks cover every interior node exactly once; each block is a tree
+    whose root is ``block.output``.  Use :func:`block_dependencies` for
+    the scheduling order — block ids are creation order, not dependency
+    order.
+    """
+    if dag.max_fan_in() > 2:
+        raise ValueError("block decomposition requires a two-input DAG")
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+
+    parents = dag.parents_map()
+    order = dag.topological_order()
+    placement: Dict[int, Tuple[int, int]] = {}  # node -> (block id, depth in block)
+    blocks: List[Block] = []
+    materialized: Set[int] = set()  # values living in registers/SRAM
+
+    for node_id in order:
+        node = dag.node(node_id)
+        if node.op in _LEAF_OPS:
+            materialized.add(node_id)
+            continue
+
+        mergeable: List[int] = []  # open child blocks we could absorb
+        depths: List[int] = []
+        for child in node.children:
+            if child in materialized:
+                depths.append(0)
+                continue
+            child_block, child_depth = placement[child]
+            if len(parents[child]) > 1:
+                # Shared value: close the child's block here.
+                materialized.add(child)
+                depths.append(0)
+                continue
+            mergeable.append(child_block)
+            depths.append(child_depth)
+
+        new_depth = 1 + max(depths, default=0)
+        if new_depth > max_depth:
+            # Close every open child block and start a fresh block.
+            for child in node.children:
+                materialized.add(child)
+            mergeable = []
+            new_depth = 1
+
+        if mergeable:
+            target = blocks[mergeable[0]]
+            for other_id in dict.fromkeys(mergeable[1:]):
+                if other_id == target.block_id:
+                    continue
+                other = blocks[other_id]
+                target.nodes.extend(other.nodes)
+                target.inputs.extend(i for i in other.inputs if i not in target.inputs)
+                for moved in other.nodes:
+                    placement[moved] = (target.block_id, placement[moved][1])
+                other.nodes = []
+                other.inputs = []
+        else:
+            target = Block(block_id=len(blocks))
+            blocks.append(target)
+
+        target.nodes.append(node_id)
+        for child in node.children:
+            if child in materialized and child not in target.inputs:
+                target.inputs.append(child)
+        target.output = node_id
+        target.depth = max(target.depth, new_depth)
+        placement[node_id] = (target.block_id, new_depth)
+
+    if dag.root is not None:
+        materialized.add(dag.root)
+
+    live = [b for b in blocks if b.nodes]
+    _validate_blocks(dag, live, max_depth)
+    return live
+
+
+def _validate_blocks(dag: Dag, blocks: Sequence[Block], max_depth: int) -> None:
+    covered: Set[int] = set()
+    for block in blocks:
+        if block.depth > max_depth:
+            raise AssertionError(f"block {block.block_id} exceeds depth budget")
+        overlap = covered & set(block.nodes)
+        if overlap:
+            raise AssertionError(f"nodes in multiple blocks: {sorted(overlap)[:5]}")
+        covered |= set(block.nodes)
+    interior = {
+        node_id
+        for node_id in dag.topological_order()
+        if dag.node(node_id).op not in _LEAF_OPS
+    }
+    missing = interior - covered
+    if missing:
+        raise AssertionError(f"nodes not covered by any block: {sorted(missing)[:5]}")
+
+
+def block_dependencies(dag: Dag, blocks: Sequence[Block]) -> Dict[int, Set[int]]:
+    """block_id → set of block_ids whose outputs it reads."""
+    producer: Dict[int, int] = {}
+    for block in blocks:
+        for node_id in block.nodes:
+            producer[node_id] = block.block_id
+    deps: Dict[int, Set[int]] = {block.block_id: set() for block in blocks}
+    for block in blocks:
+        for node_id in block.nodes:
+            for child in dag.node(node_id).children:
+                child_owner = producer.get(child)
+                if child_owner is not None and child_owner != block.block_id:
+                    deps[block.block_id].add(child_owner)
+    return deps
+
+
+def topological_block_order(dag: Dag, blocks: Sequence[Block]) -> List[Block]:
+    """Blocks sorted so every block follows its producers."""
+    deps = block_dependencies(dag, blocks)
+    by_id = {block.block_id: block for block in blocks}
+    done: Set[int] = set()
+    out: List[Block] = []
+
+    def visit(block_id: int, trail: Set[int]) -> None:
+        if block_id in done:
+            return
+        if block_id in trail:
+            raise AssertionError("cycle among blocks")
+        trail.add(block_id)
+        for dep in sorted(deps[block_id]):
+            visit(dep, trail)
+        trail.discard(block_id)
+        done.add(block_id)
+        out.append(by_id[block_id])
+
+    for block in blocks:
+        visit(block.block_id, set())
+    return out

@@ -1,0 +1,109 @@
+"""The VLIW program representation the compiler emits and the
+accelerator model executes.
+
+One instruction configures a whole tree PE for one pipeline issue:
+operand reads (bank, address) feeding the Benes crossbar, the per-node
+op configuration of the tree, and the write-back bank.  LOAD/STORE move
+data between SRAM and register banks; SPILL/RELOAD handle register
+pressure; NOP fills hazard slots the scheduler could not hide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dag.graph import OpType
+
+
+class InstructionKind(enum.Enum):
+    COMPUTE = "compute"
+    LOAD = "load"
+    STORE = "store"
+    SPILL = "spill"
+    RELOAD = "reload"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class TreeNodeConfig:
+    """Op configuration of one physical tree node for one instruction.
+
+    ``position`` is the heap index of the node inside the PE tree
+    (0 = root, children of i at 2i+1 / 2i+2).  ``op`` is the reasoning
+    operation the node performs; ``FORWARD`` (None) passes data through.
+    SUM nodes carry per-child weights (the node microarchitecture's
+    multiply-accumulate inputs).
+    """
+
+    position: int
+    op: Optional[OpType]
+    child_weights: Tuple[float, ...] = ()
+
+    @property
+    def is_forward(self) -> bool:
+        return self.op is None
+
+
+@dataclass
+class VLIWInstruction:
+    """One issue slot of the REASON VLIW stream."""
+
+    kind: InstructionKind
+    block_id: int = -1
+    reads: List[Tuple[int, int]] = field(default_factory=list)  # (bank, addr)
+    write: Optional[Tuple[int, int]] = None
+    tree_config: List[TreeNodeConfig] = field(default_factory=list)
+    comment: str = ""
+    issue_cycle: int = -1  # filled by the scheduler
+    pe: int = 0  # which tree PE executes this slot
+    leaf_operands: Dict[int, int] = field(default_factory=dict)  # PE leaf pos -> DAG value id
+    output_value: int = -1  # DAG node id this compute produces
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind is InstructionKind.COMPUTE
+
+    def read_banks(self) -> List[int]:
+        return [bank for bank, _ in self.reads]
+
+
+@dataclass
+class Program:
+    """A compiled kernel: the VLIW stream plus placement metadata."""
+
+    instructions: List[VLIWInstruction] = field(default_factory=list)
+    num_blocks: int = 0
+    value_locations: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    root_value: Optional[int] = None  # DAG node id of the final output
+    dag: object = None  # the (regularized) DAG this program computes
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def compute_count(self) -> int:
+        return sum(1 for i in self.instructions if i.kind is InstructionKind.COMPUTE)
+
+    @property
+    def nop_count(self) -> int:
+        return sum(1 for i in self.instructions if i.kind is InstructionKind.NOP)
+
+    @property
+    def memory_op_count(self) -> int:
+        return sum(
+            1
+            for i in self.instructions
+            if i.kind in (InstructionKind.LOAD, InstructionKind.STORE,
+                          InstructionKind.SPILL, InstructionKind.RELOAD)
+        )
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "instructions": len(self.instructions),
+            "compute": self.compute_count,
+            "nops": self.nop_count,
+            "memory_ops": self.memory_op_count,
+            "blocks": self.num_blocks,
+        }

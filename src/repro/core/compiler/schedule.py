@@ -1,0 +1,254 @@
+"""Compiler Step 4: pipeline-aware scheduling and register management.
+
+List scheduling over the block dependency graph: up to ``num_pes``
+blocks issue per cycle, a block's result is architecturally visible
+``pipeline_stages`` cycles after issue (plus one stall per register-bank
+read conflict), and NOPs fill cycles where no block is ready —
+the hazard spacing the paper's Step-4 "Reordering" performs.
+
+Register management implements automatic write-address generation:
+values take the lowest free address of their assigned bank; live-range
+analysis frees addresses after the last consumer issues; when a bank
+overflows, the value whose next use is furthest is spilled to shared
+memory (SPILL) and reloaded lazily (RELOAD).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.arch.config import ArchConfig
+from repro.core.compiler.blocks import Block, block_dependencies, topological_block_order
+from repro.core.compiler.mapping import BankAssignment, issue_conflicts
+from repro.core.compiler.program import (
+    InstructionKind,
+    Program,
+    TreeNodeConfig,
+    VLIWInstruction,
+)
+from repro.core.compiler.tree_map import TreePlacement, map_block_to_tree
+from repro.core.dag.graph import Dag, OpType
+
+_LEAF_OPS = {OpType.LITERAL, OpType.LEAF, OpType.INPUT}
+
+
+class _BankFile:
+    """Per-bank free lists with lowest-address-first allocation."""
+
+    def __init__(self, num_banks: int, regs_per_bank: int):
+        self.regs_per_bank = regs_per_bank
+        self._free: List[List[int]] = [list(range(regs_per_bank)) for _ in range(num_banks)]
+        for heap in self._free:
+            heapq.heapify(heap)
+        self.address_of: Dict[int, Tuple[int, int]] = {}
+        self.spilled: Set[int] = set()
+
+    def allocate(self, value: int, bank: int) -> Optional[Tuple[int, int]]:
+        """Place a value; returns (bank, addr) or None when bank is full."""
+        if not self._free[bank]:
+            return None
+        addr = heapq.heappop(self._free[bank])
+        self.address_of[value] = (bank, addr)
+        self.spilled.discard(value)
+        return (bank, addr)
+
+    def release(self, value: int) -> None:
+        located = self.address_of.pop(value, None)
+        if located is not None:
+            bank, addr = located
+            heapq.heappush(self._free[bank], addr)
+
+    def evict(self, value: int) -> Tuple[int, int]:
+        located = self.address_of.pop(value)
+        bank, addr = located
+        heapq.heappush(self._free[bank], addr)
+        self.spilled.add(value)
+        return located
+
+    def resident(self, value: int) -> bool:
+        return value in self.address_of
+
+    def values_in_bank(self, bank: int) -> List[int]:
+        return [v for v, (b, _) in self.address_of.items() if b == bank]
+
+
+@dataclass
+class ScheduleStats:
+    cycles: int = 0
+    nops: int = 0
+    stalls_bank_conflict: int = 0
+    spills: int = 0
+    reloads: int = 0
+    loads: int = 0
+    pe_issue_slots: int = 0
+
+    @property
+    def issue_efficiency(self) -> float:
+        total = self.pe_issue_slots
+        return 0.0 if total == 0 else 1.0 - self.nops / total
+
+
+def schedule_program(
+    dag: Dag,
+    blocks: Sequence[Block],
+    assignment: BankAssignment,
+    config: ArchConfig,
+) -> Tuple[Program, ScheduleStats]:
+    """Emit the scheduled VLIW program for a compiled DAG.
+
+    With ``config.pipelined_scheduling`` off (ablation), dependent
+    blocks are not interleaved: each block waits for full pipeline
+    drain, modeling a naive in-order issue.
+    """
+    ordered = topological_block_order(dag, blocks)
+    deps = block_dependencies(dag, blocks)
+    by_id = {block.block_id: block for block in blocks}
+    placements: Dict[int, TreePlacement] = {
+        block.block_id: map_block_to_tree(dag, block, config.tree_depth)
+        for block in blocks
+    }
+
+    # Live-range analysis: last consumer index per value.
+    last_use: Dict[int, int] = {}
+    for index, block in enumerate(ordered):
+        for value in block.inputs:
+            last_use[value] = index
+
+    banks = _BankFile(config.num_banks, config.regs_per_bank)
+    program = Program(num_blocks=len(blocks))
+    stats = ScheduleStats()
+    next_use_index: Dict[int, int] = dict(last_use)
+
+    def ensure_resident(value: int, position: int) -> List[VLIWInstruction]:
+        """Materialize a value into its bank, spilling if needed."""
+        issued: List[VLIWInstruction] = []
+        if banks.resident(value):
+            return issued
+        bank = assignment.bank_of.get(value, value % config.num_banks)
+        slot = banks.allocate(value, bank)
+        while slot is None:
+            victims = banks.values_in_bank(bank)
+            victim = max(
+                victims,
+                key=lambda v: next_use_index.get(v, len(ordered) + 1),
+            )
+            where = banks.evict(victim)
+            issued.append(
+                VLIWInstruction(
+                    InstructionKind.SPILL,
+                    reads=[where],
+                    comment=f"spill value {victim}",
+                )
+            )
+            stats.spills += 1
+            slot = banks.allocate(value, bank)
+        kind = (
+            InstructionKind.RELOAD if value in banks.spilled or position < 0 else InstructionKind.LOAD
+        )
+        node = dag.node(value) if value in dag else None
+        if node is not None and node.op in _LEAF_OPS:
+            issued.append(
+                VLIWInstruction(
+                    InstructionKind.LOAD,
+                    write=slot,
+                    comment=f"load leaf {value}",
+                )
+            )
+            stats.loads += 1
+        elif value in banks.spilled:
+            issued.append(
+                VLIWInstruction(InstructionKind.RELOAD, write=slot, comment=f"reload {value}")
+            )
+            stats.reloads += 1
+        return issued
+
+    finish_cycle: Dict[int, int] = {}  # block id -> result-visible cycle
+    cycle = 0
+    pending = list(range(len(ordered)))
+    issued_index: Set[int] = set()
+
+    while pending:
+        progressed = False
+        free_pes = config.num_pes
+        issue_this_cycle: List[int] = []
+        for index in pending:
+            if free_pes == 0:
+                break
+            block = ordered[index]
+            ready_at = 0
+            for dep in deps[block.block_id]:
+                if dep not in finish_cycle:
+                    ready_at = None
+                    break
+                ready_at = max(ready_at, finish_cycle[dep])
+            if ready_at is None or ready_at > cycle:
+                continue
+            if not config.pipelined_scheduling and finish_cycle:
+                # Naive mode: wait for the whole pipeline to drain.
+                if max(finish_cycle.values()) > cycle:
+                    continue
+            issue_this_cycle.append(index)
+            free_pes -= 1
+
+        for slot, index in enumerate(issue_this_cycle):
+            block = ordered[index]
+            # Materialize leaf inputs (block outputs are written by HW).
+            for value in block.inputs:
+                node = dag.node(value)
+                if node.op in _LEAF_OPS and not banks.resident(value):
+                    program.instructions.extend(ensure_resident(value, index))
+            conflicts = issue_conflicts(assignment, block)
+            stats.stalls_bank_conflict += conflicts
+            reads = [
+                banks.address_of.get(
+                    value, (assignment.bank_of.get(value, 0), 0)
+                )
+                for value in block.inputs
+            ]
+            out_bank = assignment.bank_of.get(block.output, block.output % config.num_banks)
+            out_slot = banks.allocate(block.output, out_bank)
+            while out_slot is None:
+                victims = banks.values_in_bank(out_bank)
+                victim = max(victims, key=lambda v: next_use_index.get(v, len(ordered) + 1))
+                where = banks.evict(victim)
+                program.instructions.append(
+                    VLIWInstruction(InstructionKind.SPILL, reads=[where], comment=f"spill {victim}")
+                )
+                stats.spills += 1
+                out_slot = banks.allocate(block.output, out_bank)
+            instruction = VLIWInstruction(
+                InstructionKind.COMPUTE,
+                block_id=block.block_id,
+                reads=reads,
+                write=out_slot,
+                tree_config=placements[block.block_id].configs,
+                issue_cycle=cycle,
+                pe=slot,
+                comment=f"block {block.block_id}",
+                leaf_operands=dict(placements[block.block_id].leaf_operands),
+                output_value=block.output,
+            )
+            program.instructions.append(instruction)
+            finish_cycle[block.block_id] = cycle + config.pipeline_stages + conflicts
+            issued_index.add(index)
+            progressed = True
+            # Free dead values.
+            for value in block.inputs:
+                if last_use.get(value) == index:
+                    banks.release(value)
+
+        pending = [i for i in pending if i not in issued_index]
+        stats.pe_issue_slots += config.num_pes
+        if not progressed:
+            program.instructions.append(
+                VLIWInstruction(InstructionKind.NOP, issue_cycle=cycle, comment="hazard")
+            )
+            stats.nops += 1
+        cycle += 1
+
+    stats.cycles = max(finish_cycle.values(), default=0)
+    program.value_locations = dict(banks.address_of)
+    program.root_value = dag.root
+    return program, stats

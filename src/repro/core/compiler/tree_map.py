@@ -1,0 +1,99 @@
+"""Compiler Step 3: placing a block's subtree onto the physical PE tree.
+
+A block is a (possibly unbalanced, fan-in ≤ 2) tree of ops; the PE is a
+complete binary tree of depth D.  The placement anchors the block's root
+at the PE root and recursively assigns children, configuring unused
+positions as FORWARD (pass-through) so operands injected at the leaves
+ripple up unchanged.  SUM edge weights ride on the child configuration,
+matching the node microarchitecture's multiply-accumulate datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler.blocks import Block
+from repro.core.compiler.program import TreeNodeConfig
+from repro.core.dag.graph import Dag, OpType
+
+
+@dataclass
+class TreePlacement:
+    """Physical placement of one block on the PE tree.
+
+    ``configs`` lists per-position node configurations (heap indexing);
+    ``leaf_operands`` maps PE leaf position → DAG value id injected
+    there; ``utilization`` is the fraction of tree nodes doing real work.
+    """
+
+    block_id: int
+    configs: List[TreeNodeConfig] = field(default_factory=list)
+    leaf_operands: Dict[int, int] = field(default_factory=dict)
+    utilization: float = 0.0
+
+
+def map_block_to_tree(dag: Dag, block: Block, tree_depth: int) -> TreePlacement:
+    """Anchor the block's tree at the PE root; FORWARD fills the rest.
+
+    Raises ``ValueError`` when the block is deeper than the PE tree.
+    """
+    if block.depth > tree_depth:
+        raise ValueError(
+            f"block depth {block.depth} exceeds tree depth {tree_depth}"
+        )
+    placement = TreePlacement(block_id=block.block_id)
+    block_nodes = set(block.nodes)
+    num_positions = 2 ** (tree_depth + 1) - 1
+    first_leaf = 2 ** tree_depth - 1
+
+    def place(value_id: int, position: int) -> None:
+        """Place the subtree computing ``value_id`` with its result
+        surfacing at ``position``."""
+        node = dag.node(value_id)
+        is_op = value_id in block_nodes
+        if not is_op:
+            # An operand: inject at the leaf below and FORWARD it up to
+            # ``position`` (inclusive) so the parent op can read it.
+            leaf = position
+            while leaf < first_leaf:
+                leaf = 2 * leaf + 1  # descend left spine
+            placement.leaf_operands[leaf] = value_id
+            walker = leaf
+            while True:
+                placement.configs.append(TreeNodeConfig(walker, None))
+                if walker == position:
+                    break
+                walker = (walker - 1) // 2
+            return
+
+        child_weights: Tuple[float, ...] = ()
+        if node.op is OpType.SUM and node.weights is not None:
+            child_weights = tuple(float(w) for w in node.weights)
+        placement.configs.append(TreeNodeConfig(position, node.op, child_weights))
+        children = node.children
+        if position >= first_leaf and children:
+            raise ValueError("op node landed on a leaf position")
+        if len(children) >= 1:
+            place(children[0], 2 * position + 1)
+        if len(children) == 2:
+            place(children[1], 2 * position + 2)
+
+    place(block.output, 0)
+
+    # De-duplicate configs: a position may appear once.
+    seen: Dict[int, TreeNodeConfig] = {}
+    for config in placement.configs:
+        if config.position in seen and seen[config.position].op != config.op:
+            raise AssertionError(f"conflicting configs at position {config.position}")
+        seen[config.position] = config
+    placement.configs = sorted(seen.values(), key=lambda c: c.position)
+
+    active = sum(1 for c in placement.configs if not c.is_forward)
+    placement.utilization = active / num_positions
+    return placement
+
+
+def placement_weights(placement: TreePlacement) -> Dict[int, Tuple[float, ...]]:
+    """Position → SUM child-weight map (for the execution model)."""
+    return {c.position: c.child_weights for c in placement.configs}

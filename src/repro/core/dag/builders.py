@@ -1,0 +1,175 @@
+"""Stage 1: kernel → unified DAG builders (paper Sec. IV-A).
+
+* CNF: literal leaves → OR clause nodes → one AND formula root, with
+  watch-list metadata preserved in node labels.
+* PC: structural isomorphism (leaves/sums/products map one-to-one).
+* HMM: the sequence is unrolled over time steps; each step multiplies
+  transition-weighted prior state beliefs by emission factors — the
+  forward recurrence as a SUM/PRODUCT DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hmm.model import HMM
+from repro.logic.cnf import CNF
+from repro.core.dag.graph import Dag, DagNode, OpType
+from repro.pc.circuit import (
+    Circuit,
+    CircuitNode,
+    LeafNode,
+    ProductNode,
+    SumNode,
+)
+
+
+def cnf_to_dag(formula: CNF) -> Tuple[Dag, Dict[int, int]]:
+    """CNF → three-layer logic DAG.
+
+    Returns the DAG and a map literal → LITERAL node id.  Shared literal
+    leaves give the DAG its reconvergent structure; the first two
+    literals of each clause are tagged as watched in the clause label
+    (the metadata REASON's WLs unit indexes).
+    """
+    dag = Dag()
+    literal_nodes: Dict[int, int] = {}
+
+    def literal_node(lit: int) -> int:
+        if lit not in literal_nodes:
+            literal_nodes[lit] = dag.add_op(
+                OpType.LITERAL, payload=lit, label=f"lit({lit})"
+            )
+        return literal_nodes[lit]
+
+    clause_ids: List[int] = []
+    for index, clause in enumerate(formula.clauses):
+        children = [literal_node(l) for l in clause.literals]
+        watched = ",".join(str(l) for l in clause.literals[:2])
+        clause_ids.append(
+            dag.add_op(OpType.OR, children, label=f"C{index}[watch:{watched}]")
+        )
+    root = dag.add_op(OpType.AND, clause_ids, label="formula")
+    dag.set_root(root)
+    return dag, literal_nodes
+
+
+def circuit_to_dag(circuit: Circuit) -> Tuple[Dag, Dict[int, int]]:
+    """PC → DAG (structure-preserving).
+
+    Returns the DAG and a map circuit node_id → DAG node id.
+    """
+    dag = Dag()
+    mapping: Dict[int, int] = {}
+    for node in circuit.topological_order():
+        children = [mapping[c.node_id] for c in node.children]
+        if isinstance(node, LeafNode):
+            mapping[node.node_id] = dag.add_op(
+                OpType.LEAF,
+                payload=(node.variable, tuple(float(p) for p in node.probabilities)),
+                label=f"X{node.variable}",
+            )
+        elif isinstance(node, ProductNode):
+            mapping[node.node_id] = dag.add_op(OpType.PRODUCT, children)
+        elif isinstance(node, SumNode):
+            mapping[node.node_id] = dag.add_op(
+                OpType.SUM, children, weights=[float(w) for w in node.weights]
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown circuit node {node!r}")
+    dag.set_root(mapping[circuit.root.node_id])
+    return dag, mapping
+
+
+def dag_to_circuit(dag: Dag) -> Circuit:
+    """Inverse of :func:`circuit_to_dag` for probabilistic DAGs.
+
+    Raises ``ValueError`` if the DAG contains logic ops.
+    """
+    rebuilt: Dict[int, CircuitNode] = {}
+    for node_id in dag.topological_order():
+        node = dag.node(node_id)
+        if node.op is OpType.LEAF:
+            variable, probabilities = node.payload  # type: ignore[misc]
+            rebuilt[node_id] = LeafNode(variable, list(probabilities))
+        elif node.op is OpType.PRODUCT:
+            rebuilt[node_id] = ProductNode([rebuilt[c] for c in node.children])
+        elif node.op is OpType.SUM:
+            assert node.weights is not None
+            rebuilt[node_id] = SumNode(
+                [rebuilt[c] for c in node.children], list(node.weights)
+            )
+        else:
+            raise ValueError(f"not a probabilistic DAG: contains {node.op}")
+    assert dag.root is not None
+    return Circuit(rebuilt[dag.root])
+
+
+def hmm_to_dag(
+    hmm: HMM,
+    observations: Sequence[int],
+    prune_transition_below: float = 0.0,
+) -> Dag:
+    """Unroll an HMM over an observation sequence into a SUM/PRODUCT DAG.
+
+    The DAG computes the joint likelihood p(x_1:T): layer t holds one
+    node per hidden state s with value
+    ``alpha_t(s) = emission[s, x_t] * Σ_s' transition[s', s] · alpha_{t-1}(s')``
+    and the root sums the last layer.  Emission factors are LEAF nodes
+    (observations baked into leaf payloads); transitions appear as SUM
+    edge weights, so transition edges below ``prune_transition_below``
+    can simply be omitted (used by HMM pruning experiments).
+    """
+    T = len(observations)
+    if T == 0:
+        raise ValueError("cannot unroll an empty observation sequence")
+    S = hmm.num_states
+    dag = Dag()
+
+    def emission_leaf(t: int, s: int) -> int:
+        probability = float(hmm.emission[s, observations[t]])
+        return dag.add_op(
+            OpType.LEAF,
+            payload=(t * S + s, (probability,)),
+            label=f"emit[t={t},s={s}]",
+        )
+
+    # Layer 0: alpha_0(s) = initial[s] * emission[s, x_0].
+    previous: List[int] = []
+    for s in range(S):
+        leaf = emission_leaf(0, s)
+        scaled = dag.add_op(
+            OpType.SUM, [leaf], weights=[float(hmm.initial[s])], label=f"init[s={s}]"
+        )
+        previous.append(scaled)
+
+    for t in range(1, T):
+        current: List[int] = []
+        for s in range(S):
+            incoming: List[int] = []
+            weights: List[float] = []
+            for s_prev in range(S):
+                w = float(hmm.transition[s_prev, s])
+                if w <= prune_transition_below:
+                    continue
+                incoming.append(previous[s_prev])
+                weights.append(w)
+            if not incoming:
+                # State unreachable after pruning: contributes zero.
+                zero = dag.add_op(OpType.LEAF, payload=(-1, (0.0,)), label="zero")
+                current.append(zero)
+                continue
+            mixed = dag.add_op(
+                OpType.SUM, incoming, weights=weights, label=f"trans[t={t},s={s}]"
+            )
+            emitted = dag.add_op(
+                OpType.PRODUCT, [mixed, emission_leaf(t, s)], label=f"alpha[t={t},s={s}]"
+            )
+            current.append(emitted)
+        previous = current
+
+    root = dag.add_op(OpType.SUM, previous, weights=[1.0] * len(previous), label="joint")
+    dag.set_root(root)
+    return dag

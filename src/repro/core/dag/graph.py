@@ -1,0 +1,300 @@
+"""The unified DAG intermediate representation (paper Sec. IV-A, Fig. 5).
+
+One typed DAG covers all three kernel families:
+
+* logic (SAT/FOL): LITERAL leaves, OR clause nodes, AND formula nodes;
+* probabilistic circuits: LEAF distributions, SUM and PRODUCT nodes
+  (SUM edges carry weights);
+* HMMs: the unrolled factor graph uses the same SUM/PRODUCT/LEAF ops.
+
+Nodes are atomic reasoning operations, directed edges are data
+dependencies, and inference is a bottom-up traversal — exactly the
+execution model REASON's compiler schedules onto tree PEs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class OpType(enum.Enum):
+    """Atomic reasoning operations."""
+
+    # Logic ops
+    LITERAL = "literal"  # payload: signed DIMACS literal
+    OR = "or"
+    AND = "and"
+    NOT = "not"
+    # Probabilistic ops
+    LEAF = "leaf"  # payload: (variable, probabilities tuple)
+    SUM = "sum"  # edge weights on the node
+    PRODUCT = "product"
+    # Generic named input (used by HMM unrolling for observations)
+    INPUT = "input"
+
+    @property
+    def is_logic(self) -> bool:
+        return self in (OpType.LITERAL, OpType.OR, OpType.AND, OpType.NOT)
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return self in (OpType.LEAF, OpType.SUM, OpType.PRODUCT)
+
+
+@dataclass
+class DagNode:
+    """A node in the unified DAG.
+
+    ``payload`` depends on the op: a literal for LITERAL, a
+    (variable, probabilities) tuple for LEAF, a label for INPUT.
+    ``weights`` parallels ``children`` on SUM nodes.
+    """
+
+    op: OpType
+    children: List[int] = field(default_factory=list)
+    payload: object = None
+    weights: Optional[List[float]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op is OpType.SUM and self.weights is None:
+            self.weights = [1.0] * len(self.children)
+        if self.weights is not None and len(self.weights) != len(self.children):
+            raise ValueError("weights must parallel children")
+
+    @property
+    def fan_in(self) -> int:
+        return len(self.children)
+
+
+class Dag:
+    """A rooted DAG of :class:`DagNode` addressed by integer ids."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, DagNode] = {}
+        self._next_id = 0
+        self.root: Optional[int] = None
+
+    def add(self, node: DagNode) -> int:
+        for child in node.children:
+            if child not in self._nodes:
+                raise KeyError(f"child {child} not in DAG")
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = node
+        return node_id
+
+    def add_op(
+        self,
+        op: OpType,
+        children: Sequence[int] = (),
+        payload: object = None,
+        weights: Optional[Sequence[float]] = None,
+        label: str = "",
+    ) -> int:
+        return self.add(
+            DagNode(op, list(children), payload, list(weights) if weights else None, label)
+        )
+
+    def node(self, node_id: int) -> DagNode:
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def set_root(self, node_id: int) -> None:
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id} not in DAG")
+        self.root = node_id
+
+    def ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def items(self) -> Iterator[Tuple[int, DagNode]]:
+        return iter(self._nodes.items())
+
+    # --------------------------------------------------------------- queries
+
+    def topological_order(self, roots: Optional[Iterable[int]] = None) -> List[int]:
+        """Children-before-parents order of nodes reachable from roots.
+
+        Defaults to the DAG's root; raises if no root is set.
+        """
+        if roots is None:
+            if self.root is None:
+                raise ValueError("DAG has no root")
+            roots = [self.root]
+        order: List[int] = []
+        state: Dict[int, int] = {}  # 0 visiting, 1 done
+        stack: List[Tuple[int, bool]] = [(r, False) for r in roots]
+        while stack:
+            node_id, processed = stack.pop()
+            if processed:
+                state[node_id] = 1
+                order.append(node_id)
+                continue
+            if node_id in state:
+                if state[node_id] == 0:
+                    raise ValueError("cycle detected in DAG")
+                continue
+            state[node_id] = 0
+            stack.append((node_id, True))
+            for child in self._nodes[node_id].children:
+                if state.get(child) != 1:
+                    if state.get(child) == 0:
+                        raise ValueError("cycle detected in DAG")
+                    stack.append((child, False))
+        # Deduplicate while preserving order (diamond reconvergence).
+        seen: set = set()
+        unique: List[int] = []
+        for node_id in order:
+            if node_id not in seen:
+                seen.add(node_id)
+                unique.append(node_id)
+        return unique
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(n.children) for n in self._nodes.values())
+
+    def reachable_size(self) -> int:
+        """Nodes reachable from the root (live size after pruning)."""
+        return len(self.topological_order())
+
+    def depth(self) -> int:
+        """Longest path (in edges) from any leaf to the root."""
+        depths: Dict[int, int] = {}
+        for node_id in self.topological_order():
+            node = self._nodes[node_id]
+            if not node.children:
+                depths[node_id] = 0
+            else:
+                depths[node_id] = 1 + max(depths[c] for c in node.children)
+        return depths[self.root] if self.root is not None else 0
+
+    def max_fan_in(self) -> int:
+        live = self.topological_order()
+        return max((self._nodes[i].fan_in for i in live), default=0)
+
+    def parents_map(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {i: [] for i in self._nodes}
+        for node_id, node in self._nodes.items():
+            for child in node.children:
+                out[child].append(node_id)
+        return out
+
+    def op_histogram(self) -> Dict[OpType, int]:
+        hist: Dict[OpType, int] = {}
+        for node_id in self.topological_order():
+            op = self._nodes[node_id].op
+            hist[op] = hist.get(op, 0) + 1
+        return hist
+
+    def memory_footprint(self) -> int:
+        """Abstract memory cost in words: one per node plus one per edge
+        plus one per sum weight — the unit Table IV's memory-reduction
+        percentages are measured in."""
+        live = self.topological_order()
+        words = 0
+        for node_id in live:
+            node = self._nodes[node_id]
+            words += 1 + len(node.children)
+            if node.weights is not None:
+                words += len(node.weights)
+        return words
+
+    def compact(self) -> "Dag":
+        """Copy keeping only nodes reachable from the root, renumbered."""
+        if self.root is None:
+            raise ValueError("DAG has no root")
+        live = self.topological_order()
+        mapping: Dict[int, int] = {}
+        out = Dag()
+        for node_id in live:
+            node = self._nodes[node_id]
+            mapping[node_id] = out.add_op(
+                node.op,
+                [mapping[c] for c in node.children],
+                node.payload,
+                node.weights,
+                node.label,
+            )
+        out.set_root(mapping[self.root])
+        return out
+
+
+def default_leaf_inputs(dag: Dag, literal_values: Optional[Dict[int, bool]] = None) -> Dict[int, float]:
+    """Default input map for a DAG's leaf nodes.
+
+    Probabilistic LEAF nodes get their marginalized payload mass
+    (evaluating the DAG then yields the partition function / joint
+    likelihood); LITERAL nodes get the truth value from
+    ``literal_values`` (DIMACS variable → bool) or 0.0.
+    """
+    inputs: Dict[int, float] = {}
+    for node_id in dag.topological_order():
+        node = dag.node(node_id)
+        if node.op is OpType.LEAF and node.payload is not None:
+            _, probabilities = node.payload
+            inputs[node_id] = float(sum(probabilities))
+        elif node.op is OpType.LITERAL:
+            if literal_values is not None:
+                lit = node.payload
+                value = literal_values.get(abs(lit))
+                inputs[node_id] = 1.0 if value is not None and value == (lit > 0) else 0.0
+            else:
+                inputs[node_id] = 0.0
+        elif node.op is OpType.INPUT:
+            inputs[node_id] = 0.0
+    return inputs
+
+
+def evaluate_dag(dag: Dag, inputs: Dict[int, float]) -> Dict[int, float]:
+    """Reference bottom-up evaluation of a unified DAG.
+
+    ``inputs`` maps node_id → value for LITERAL/LEAF/INPUT nodes;
+    missing logic leaves default to 0 (false) and missing probabilistic
+    leaves to their marginalized mass when the payload provides one.
+    Logic ops use Boolean semantics over {0.0, 1.0}; SUM/PRODUCT use
+    arithmetic semantics.  Returns values for every reachable node.
+    """
+    values: Dict[int, float] = {}
+    for node_id in dag.topological_order():
+        node = dag.node(node_id)
+        if node.op in (OpType.LITERAL, OpType.LEAF, OpType.INPUT):
+            if node_id in inputs:
+                values[node_id] = float(inputs[node_id])
+            elif node.op is OpType.LEAF and node.payload is not None:
+                _, probabilities = node.payload
+                values[node_id] = float(sum(probabilities))
+            else:
+                values[node_id] = 0.0
+        elif node.op is OpType.NOT:
+            values[node_id] = 1.0 - values[node.children[0]]
+        elif node.op is OpType.OR:
+            values[node_id] = 1.0 if any(values[c] > 0 for c in node.children) else 0.0
+        elif node.op is OpType.AND:
+            values[node_id] = 1.0 if all(values[c] > 0 for c in node.children) else 0.0
+        elif node.op is OpType.PRODUCT:
+            out = 1.0
+            for child in node.children:
+                out *= values[child]
+            values[node_id] = out
+        elif node.op is OpType.SUM:
+            assert node.weights is not None
+            values[node_id] = sum(
+                w * values[c] for w, c in zip(node.weights, node.children)
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {node.op}")
+    return values

@@ -1,0 +1,179 @@
+"""Stage 2: adaptive DAG pruning (paper Sec. IV-B).
+
+Logic DAGs are pruned through the binary implication graph (hidden
+literal / hidden tautology elimination — exact, satisfiability
+preserving).  Probabilistic DAGs are pruned by circuit flow: edges whose
+cumulative flow over a calibration dataset is smallest are removed, with
+the paper's Δ log-likelihood bound reported.  HMMs are pruned by
+expected transition usage from forward-backward posteriors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dag.builders import circuit_to_dag, cnf_to_dag
+from repro.core.dag.graph import Dag
+from repro.hmm.inference import transition_posteriors
+from repro.hmm.model import HMM
+from repro.logic.cnf import CNF
+from repro.logic.implication_graph import PruneReport, prune_hidden_literals
+from repro.pc.circuit import Circuit, CircuitNode, LeafNode, ProductNode, SumNode
+from repro.pc.flows import dataset_edge_flows, flow_pruning_bound
+from repro.pc.inference import Evidence
+
+
+@dataclass
+class FlowPruneReport:
+    """Outcome of flow-based pruning."""
+
+    edges_before: int = 0
+    edges_after: int = 0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    log_likelihood_bound: float = 0.0
+
+    @property
+    def edge_reduction(self) -> float:
+        if self.edges_before == 0:
+            return 0.0
+        return 1.0 - self.edges_after / self.edges_before
+
+
+def prune_logic_dag(formula: CNF) -> Tuple[Dag, CNF, PruneReport]:
+    """Prune a CNF via its implication graph and rebuild the DAG.
+
+    Returns (pruned DAG, pruned CNF, report).  Exactness comes from the
+    underlying hidden-literal elimination: the pruned formula is
+    equisatisfiable (indeed equivalent) to the original.
+    """
+    pruned_cnf, report = prune_hidden_literals(formula)
+    dag, _ = cnf_to_dag(pruned_cnf)
+    return dag, pruned_cnf, report
+
+
+def prune_circuit_by_flow(
+    circuit: Circuit,
+    dataset: Sequence[Evidence],
+    keep_fraction: float = 0.8,
+    min_children: int = 1,
+) -> Tuple[Circuit, FlowPruneReport]:
+    """Remove the lowest-flow sum edges of a probabilistic circuit.
+
+    Edges are ranked by cumulative flow F_{n,c}(D); the lowest
+    ``1 - keep_fraction`` of sum edges are deleted (each sum keeps at
+    least ``min_children`` children).  Surviving weights are
+    renormalized.  The report carries the paper's bound
+    Δ log L ≤ Σ_pruned F_{n,c}(D)/|D|.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must lie in (0, 1]")
+    flows, count = dataset_edge_flows(circuit, dataset)
+    if count == 0:
+        raise ValueError("flow pruning needs a non-empty calibration dataset")
+
+    sum_edges = sorted(flows.items(), key=lambda kv: kv[1])
+    num_to_drop = int(len(sum_edges) * (1.0 - keep_fraction))
+    drop_order = [key for key, _ in sum_edges]
+
+    # Respect min_children per sum node while honoring the drop budget.
+    children_left: Dict[int, int] = {}
+    for node in circuit.topological_order():
+        if isinstance(node, SumNode):
+            children_left[node.node_id] = len(node.children)
+    dropped: set = set()
+    bound_mass = 0.0
+    for key in drop_order:
+        if len(dropped) >= num_to_drop:
+            break
+        parent_id, _ = key
+        if children_left[parent_id] <= min_children:
+            continue
+        dropped.add(key)
+        children_left[parent_id] -= 1
+        bound_mass += flows[key]
+
+    report = FlowPruneReport(
+        edges_before=circuit.num_edges,
+        nodes_before=circuit.num_nodes,
+        log_likelihood_bound=flow_pruning_bound(bound_mass, count) if dropped else 0.0,
+    )
+
+    rebuilt: Dict[int, CircuitNode] = {}
+    for node in circuit.topological_order():
+        if isinstance(node, LeafNode):
+            rebuilt[node.node_id] = LeafNode(node.variable, node.probabilities.copy())
+        elif isinstance(node, ProductNode):
+            rebuilt[node.node_id] = ProductNode([rebuilt[c.node_id] for c in node.children])
+        elif isinstance(node, SumNode):
+            kept_children: List[CircuitNode] = []
+            kept_weights: List[float] = []
+            for child, weight in zip(node.children, node.weights):
+                if (node.node_id, child.node_id) in dropped:
+                    continue
+                kept_children.append(rebuilt[child.node_id])
+                kept_weights.append(float(weight))
+            total = sum(kept_weights)
+            if total > 0:
+                kept_weights = [w / total for w in kept_weights]
+            rebuilt[node.node_id] = SumNode(kept_children, kept_weights)
+    pruned = Circuit(rebuilt[circuit.root.node_id], dict(circuit.num_states))
+
+    report.edges_after = pruned.num_edges
+    report.nodes_after = pruned.num_nodes
+    return pruned, report
+
+
+def prune_hmm_by_posterior(
+    hmm: HMM,
+    calibration_sequences: Sequence[Sequence[int]],
+    threshold_quantile: float = 0.2,
+) -> Tuple[HMM, FlowPruneReport]:
+    """Zero out transitions with consistently low posterior usage.
+
+    Expected transition usage is accumulated with forward-backward over
+    the calibration sequences; transitions below the
+    ``threshold_quantile`` of the usage distribution are removed and
+    rows renormalized.  Fidelity degrades gracefully because the removed
+    mass bounds the joint-likelihood change (paper Sec. IV-B-b).
+    """
+    if not calibration_sequences:
+        raise ValueError("posterior pruning needs calibration sequences")
+    S = hmm.num_states
+    usage = np.zeros((S, S))
+    for observations in calibration_sequences:
+        if len(observations) >= 2:
+            usage += transition_posteriors(hmm, observations).sum(axis=0)
+
+    nonzero_before = int(np.count_nonzero(hmm.transition))
+    positive = usage[hmm.transition > 0]
+    if positive.size == 0:
+        return hmm, FlowPruneReport(nonzero_before, nonzero_before, S, S)
+    cutoff = float(np.quantile(positive, threshold_quantile))
+
+    transition = hmm.transition.copy()
+    pruned_mass = 0.0
+    for i in range(S):
+        for j in range(S):
+            if transition[i, j] > 0 and usage[i, j] <= cutoff:
+                # Keep at least one outgoing transition per state.
+                row_nonzero = np.count_nonzero(transition[i])
+                if row_nonzero > 1:
+                    pruned_mass += usage[i, j]
+                    transition[i, j] = 0.0
+    sums = transition.sum(axis=1, keepdims=True)
+    transition = np.where(sums > 0, transition / np.where(sums > 0, sums, 1.0), hmm.transition)
+
+    pruned = HMM(hmm.initial.copy(), transition, hmm.emission.copy())
+    total_steps = sum(max(len(s) - 1, 0) for s in calibration_sequences)
+    report = FlowPruneReport(
+        edges_before=nonzero_before,
+        edges_after=int(np.count_nonzero(transition)),
+        nodes_before=S,
+        nodes_after=S,
+        log_likelihood_bound=pruned_mass / max(total_steps, 1),
+    )
+    return pruned, report

@@ -1,0 +1,145 @@
+"""The REASON programming model (paper Listing 1, Sec. VI-B).
+
+`ReasonCoprocessor` mirrors the C++ interface: ``reason_execute``
+launches symbolic processing for a batch after the GPU sets the
+``neural_ready`` flag; ``reason_check_status`` polls (or blocks on) the
+engine; results return through the shared-memory ``symbolic_buffer``
+with the ``symbolic_ready`` flag — no CUDA stream synchronization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.tree_pe import PEMode
+from repro.core.dag.graph import Dag, default_leaf_inputs
+from repro.core.compiler import compile_dag
+from repro.logic.cnf import CNF
+
+
+class CoprocessorStatus(enum.Enum):
+    IDLE = "idle"
+    EXECUTION = "execution"
+
+
+class ReasoningMode(enum.Enum):
+    SYMBOLIC = "symbolic"
+    PROBABILISTIC = "probabilistic"
+
+
+@dataclass
+class SharedMemoryFlags:
+    """The flag buffers SMs and REASON synchronize through."""
+
+    neural_ready: Dict[int, bool] = field(default_factory=dict)
+    symbolic_ready: Dict[int, bool] = field(default_factory=dict)
+
+    def set_neural_ready(self, batch_id: int) -> None:
+        self.neural_ready[batch_id] = True
+
+    def set_symbolic_ready(self, batch_id: int) -> None:
+        self.symbolic_ready[batch_id] = True
+
+    def clear(self, batch_id: int) -> None:
+        self.neural_ready.pop(batch_id, None)
+        self.symbolic_ready.pop(batch_id, None)
+
+
+@dataclass
+class _BatchRecord:
+    batch_id: int
+    finish_time_s: float
+    result: object
+    cycles: int
+
+
+class ReasonCoprocessor:
+    """Host-side handle to one REASON instance.
+
+    The model keeps a busy-until clock so overlapping ``reason_execute``
+    calls queue, exactly as a physical engine polled through
+    ``reason_check_status`` would behave.
+    """
+
+    def __init__(self, config: ArchConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.flags = SharedMemoryFlags()
+        self._busy_until_s = 0.0
+        self._batches: Dict[int, _BatchRecord] = {}
+        self.total_cycles = 0
+        self.executions = 0
+
+    def reason_execute(
+        self,
+        batch_id: int,
+        batch_size: int,
+        neural_buffer: Union[Dag, CNF],
+        reasoning_mode: ReasoningMode,
+        now_s: float = 0.0,
+    ) -> _BatchRecord:
+        """Launch symbolic execution for one batch (Listing 1).
+
+        ``neural_buffer`` carries the structure the neural stage
+        produced: a unified DAG for probabilistic kernels or a CNF for
+        symbolic ones.  Returns the batch record with the completion
+        time; results land in the shared-memory flags.
+        """
+        if not self.flags.neural_ready.get(batch_id, False):
+            raise RuntimeError(
+                f"batch {batch_id}: neural_ready flag not set before reason_execute"
+            )
+        accelerator = ReasonAccelerator(self.config)
+        if reasoning_mode is ReasoningMode.SYMBOLIC:
+            if not isinstance(neural_buffer, CNF):
+                raise TypeError("symbolic mode expects a CNF buffer")
+            trace, solver = accelerator.run_symbolic(neural_buffer)
+            cycles = trace.cycles * batch_size
+            result: object = solver.stats
+        else:
+            if not isinstance(neural_buffer, Dag):
+                raise TypeError("probabilistic mode expects a DAG buffer")
+            program, _ = compile_dag(neural_buffer, self.config)
+            report = accelerator.run_program(
+                program, default_leaf_inputs(program.dag), mode=PEMode.PROBABILISTIC
+            )
+            cycles = report.cycles * batch_size
+            result = report.result
+
+        start = max(now_s, self._busy_until_s)
+        finish = start + cycles * self.config.cycle_time_s
+        self._busy_until_s = finish
+        self.total_cycles += cycles
+        self.executions += 1
+        record = _BatchRecord(batch_id, finish, result, cycles)
+        self._batches[batch_id] = record
+        self.flags.set_symbolic_ready(batch_id)
+        return record
+
+    def reason_check_status(
+        self, batch_id: int, blocking: bool = False, now_s: float = 0.0
+    ) -> Tuple[CoprocessorStatus, float]:
+        """Report (status, time): EXECUTION until the batch finishes.
+
+        With ``blocking`` the returned time advances to completion —
+        the host thread waits for REASON to go idle.
+        """
+        record = self._batches.get(batch_id)
+        if record is None:
+            return CoprocessorStatus.IDLE, now_s
+        if blocking:
+            return CoprocessorStatus.IDLE, max(now_s, record.finish_time_s)
+        if now_s >= record.finish_time_s:
+            return CoprocessorStatus.IDLE, now_s
+        return CoprocessorStatus.EXECUTION, now_s
+
+    def result_of(self, batch_id: int) -> object:
+        record = self._batches.get(batch_id)
+        if record is None:
+            raise KeyError(f"no batch {batch_id}")
+        if not self.flags.symbolic_ready.get(batch_id, False):
+            raise RuntimeError(f"batch {batch_id}: symbolic_ready flag not set")
+        return record.result

@@ -1,0 +1,49 @@
+"""Workload partitioning between GPU SMs and REASON (paper Sec. VI-A).
+
+Neural kernels (dense tensor ops) stay on the GPU, whose throughput and
+programmability suit them; symbolic and probabilistic kernels offload to
+REASON.  The partitioner operates on kernel classes so the same policy
+covers every workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.baselines.device import KernelClass, KernelProfile
+
+
+class Placement(enum.Enum):
+    GPU = "gpu"
+    REASON = "reason"
+
+
+#: The paper's static policy: tensor kernels → GPU, everything else → REASON.
+_POLICY: Dict[KernelClass, Placement] = {
+    KernelClass.NEURAL_GEMM: Placement.GPU,
+    KernelClass.NEURAL_SOFTMAX: Placement.GPU,
+    KernelClass.SPARSE_MATVEC: Placement.REASON,  # SpMSpM mode (Sec. V-B)
+    KernelClass.LOGIC: Placement.REASON,
+    KernelClass.MARGINAL: Placement.REASON,
+    KernelClass.BAYESIAN: Placement.REASON,
+}
+
+
+def placement_of(kernel_class: KernelClass) -> Placement:
+    return _POLICY[kernel_class]
+
+
+def partition_kernels(
+    profiles: Iterable[KernelProfile],
+) -> Tuple[List[KernelProfile], List[KernelProfile]]:
+    """Split a kernel sequence into (gpu_kernels, reason_kernels)."""
+    gpu: List[KernelProfile] = []
+    reason: List[KernelProfile] = []
+    for profile in profiles:
+        if placement_of(profile.kernel_class) is Placement.GPU:
+            gpu.append(profile)
+        else:
+            reason.append(profile)
+    return gpu, reason

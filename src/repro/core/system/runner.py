@@ -1,0 +1,114 @@
+"""Executing workload kernels on the REASON accelerator model.
+
+Workload ``reason_kernel`` outputs are heterogeneous (CNF, Circuit,
+HMM); this module normalizes them: logic kernels replay on the symbolic
+engine, probabilistic kernels run the optimize→compile→execute path.
+Returned timings are per-query cycles/seconds plus the energy model for
+power/energy reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.energy import EnergyModel
+from repro.core.arch.tree_pe import PEMode
+from repro.core.compiler import compile_dag
+from repro.core.dag import circuit_to_dag, hmm_to_dag, optimize
+from repro.core.dag.graph import default_leaf_inputs
+from repro.hmm.model import HMM
+from repro.logic.cnf import CNF
+from repro.pc.circuit import Circuit
+
+
+@dataclass
+class ReasonTiming:
+    """Cost of one kernel execution on REASON."""
+
+    cycles: int
+    seconds: float
+    energy_j: float
+    power_w: float
+    utilization: float = 0.0
+
+    def scaled(self, factor: float) -> "ReasonTiming":
+        """Scale to the paper's full task size (documented calibration:
+        synthetic instances are miniatures of the benchmark tasks)."""
+        return ReasonTiming(
+            cycles=int(self.cycles * factor),
+            seconds=self.seconds * factor,
+            energy_j=self.energy_j * factor,
+            power_w=self.power_w,
+            utilization=self.utilization,
+        )
+
+
+def time_kernel_on_reason(
+    kernel: Union[CNF, Circuit, HMM],
+    config: ArchConfig = DEFAULT_CONFIG,
+    calibration: Optional[Sequence] = None,
+    apply_algorithm_optimizations: bool = True,
+    queries: int = 1,
+    hmm_observations: Optional[Sequence[int]] = None,
+) -> ReasonTiming:
+    """Run one workload kernel on the accelerator and report costs.
+
+    With ``apply_algorithm_optimizations`` the Stage 1-3 pipeline
+    (unify, prune, regularize) runs first when calibration data is
+    available — the full REASON stack; otherwise the raw kernel
+    compiles directly (the "w/o algorithm optimization" ablation).
+    """
+    accelerator = ReasonAccelerator(config)
+
+    if isinstance(kernel, CNF):
+        working = kernel
+        if apply_algorithm_optimizations:
+            working = optimize(kernel).pruned_model
+        trace, _ = accelerator.run_symbolic(working)
+        cycles = max(trace.cycles, 1) * queries
+        energy = accelerator.energy.total_energy_j() * queries
+        power = accelerator.energy.average_power_w(cycles)
+        return ReasonTiming(cycles, cycles * config.cycle_time_s, energy, power)
+
+    if isinstance(kernel, Circuit):
+        if apply_algorithm_optimizations and calibration:
+            dag = optimize(kernel, calibration=calibration).dag
+        else:
+            dag, _ = circuit_to_dag(kernel)
+        program, _ = compile_dag(dag, config)
+        report = accelerator.run_program(
+            program, default_leaf_inputs(program.dag), mode=PEMode.PROBABILISTIC
+        )
+        cycles = max(report.cycles, 1) * queries
+        return ReasonTiming(
+            cycles,
+            cycles * config.cycle_time_s,
+            report.energy_j * queries,
+            report.power_w,
+            report.utilization,
+        )
+
+    if isinstance(kernel, HMM):
+        observations = list(hmm_observations or range(min(8, kernel.num_observations)))
+        observations = [o % kernel.num_observations for o in observations]
+        if apply_algorithm_optimizations and calibration:
+            dag = optimize(kernel, calibration=calibration).dag
+        else:
+            dag = hmm_to_dag(kernel, observations)
+        program, _ = compile_dag(dag, config)
+        report = accelerator.run_program(
+            program, default_leaf_inputs(program.dag), mode=PEMode.PROBABILISTIC
+        )
+        cycles = max(report.cycles, 1) * queries
+        return ReasonTiming(
+            cycles,
+            cycles * config.cycle_time_s,
+            report.energy_j * queries,
+            report.power_w,
+            report.utilization,
+        )
+
+    raise TypeError(f"unsupported kernel type: {type(kernel).__name__}")

@@ -1,0 +1,115 @@
+"""HMM parameters: initial, transition and emission distributions."""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class HMM:
+    """A discrete-observation hidden Markov model.
+
+    Attributes
+    ----------
+    initial:
+        Shape (S,): P(z_1 = s).
+    transition:
+        Shape (S, S): ``transition[i, j]`` = P(z_t = j | z_{t-1} = i).
+    emission:
+        Shape (S, V): ``emission[s, o]`` = P(x_t = o | z_t = s).
+    """
+
+    initial: np.ndarray
+    transition: np.ndarray
+    emission: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.initial = np.asarray(self.initial, dtype=float)
+        self.transition = np.asarray(self.transition, dtype=float)
+        self.emission = np.asarray(self.emission, dtype=float)
+        s = self.num_states
+        if self.transition.shape != (s, s):
+            raise ValueError("transition must be (S, S)")
+        if self.emission.shape[0] != s:
+            raise ValueError("emission must have S rows")
+        for name, row_stochastic in (
+            ("initial", self.initial[None, :]),
+            ("transition", self.transition),
+            ("emission", self.emission),
+        ):
+            if np.any(row_stochastic < -1e-12):
+                raise ValueError(f"{name} has negative entries")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.initial)
+
+    @property
+    def num_observations(self) -> int:
+        return self.emission.shape[1]
+
+    def validate_stochastic(self, atol: float = 1e-8) -> None:
+        """Raise unless all distributions are normalized."""
+        if not np.isclose(self.initial.sum(), 1.0, atol=atol):
+            raise ValueError("initial distribution is not normalized")
+        if not np.allclose(self.transition.sum(axis=1), 1.0, atol=atol):
+            raise ValueError("transition rows are not normalized")
+        if not np.allclose(self.emission.sum(axis=1), 1.0, atol=atol):
+            raise ValueError("emission rows are not normalized")
+
+    def normalized(self) -> "HMM":
+        """Row-normalized copy (zero rows become uniform)."""
+
+        def norm(matrix: np.ndarray) -> np.ndarray:
+            matrix = np.asarray(matrix, dtype=float)
+            sums = matrix.sum(axis=-1, keepdims=True)
+            out = np.where(sums > 0, matrix / np.where(sums > 0, sums, 1.0), 1.0 / matrix.shape[-1])
+            return out
+
+        return HMM(norm(self.initial[None, :])[0], norm(self.transition), norm(self.emission))
+
+    def sample(self, length: int, rng: Optional[_random.Random] = None) -> Tuple[List[int], List[int]]:
+        """Sample (states, observations) of the given length."""
+        rng = rng or _random.Random()
+
+        def draw(probabilities: np.ndarray) -> int:
+            r = rng.random()
+            cumulative = 0.0
+            for idx, p in enumerate(probabilities):
+                cumulative += p
+                if r <= cumulative:
+                    return idx
+            return len(probabilities) - 1
+
+        states: List[int] = []
+        observations: List[int] = []
+        for t in range(length):
+            if t == 0:
+                state = draw(self.initial)
+            else:
+                state = draw(self.transition[states[-1]])
+            states.append(state)
+            observations.append(draw(self.emission[state]))
+        return states, observations
+
+    @staticmethod
+    def random(
+        num_states: int,
+        num_observations: int,
+        seed: Optional[int] = None,
+        concentration: float = 1.0,
+    ) -> "HMM":
+        """A random HMM with Dirichlet(concentration) rows."""
+        rng = np.random.default_rng(seed)
+        initial = rng.dirichlet([concentration] * num_states)
+        transition = rng.dirichlet([concentration] * num_states, size=num_states)
+        emission = rng.dirichlet([concentration] * num_observations, size=num_states)
+        return HMM(initial, transition, emission)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.initial.size + self.transition.size + self.emission.size

@@ -1,0 +1,49 @@
+"""Symbolic logic substrate: CNF/SAT solving and first-order logic.
+
+This package implements the logical-reasoning kernels that REASON
+accelerates: propositional CNF formulas with DIMACS I/O, a DPLL solver
+with lookahead, a CDCL solver with two-watched-literals and 1-UIP clause
+learning, implication-graph-based preprocessing (the paper's Stage-2
+pruning for logic kernels), cube-and-conquer parallel solving, and a
+first-order-logic layer (unification, clausification, resolution,
+forward chaining).
+"""
+
+from repro.logic.cnf import CNF, Clause, Literal, parse_dimacs, to_dimacs
+from repro.logic.dpll import DPLLSolver, DPLLStats
+from repro.logic.cdcl import CDCLSolver, CDCLStats, SolveResult
+from repro.logic.implication_graph import (
+    BinaryImplicationGraph,
+    prune_hidden_literals,
+)
+from repro.logic.cube_and_conquer import CubeAndConquerSolver, Cube
+from repro.logic.subsumption import eliminate_subsumed, preprocess
+from repro.logic.generators import (
+    random_ksat,
+    pigeonhole,
+    graph_coloring_cnf,
+    planted_sat,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "parse_dimacs",
+    "to_dimacs",
+    "DPLLSolver",
+    "DPLLStats",
+    "CDCLSolver",
+    "CDCLStats",
+    "SolveResult",
+    "BinaryImplicationGraph",
+    "prune_hidden_literals",
+    "CubeAndConquerSolver",
+    "Cube",
+    "eliminate_subsumed",
+    "preprocess",
+    "random_ksat",
+    "pigeonhole",
+    "graph_coloring_cnf",
+    "planted_sat",
+]

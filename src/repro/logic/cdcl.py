@@ -1,0 +1,426 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+Implements the modern solver loop the paper builds its symbolic hardware
+around: two-watched-literals Boolean constraint propagation (BCP), 1-UIP
+conflict analysis with non-chronological backjumping, VSIDS-style
+activity decay, Luby restarts and learned-clause deletion.
+
+The watched-literal data structure mirrors the hardware organization in
+Fig. 6(e): per-literal watch lists are singly linked so that a variable
+assignment touches only the clauses on its own list (the WLs unit's
+linked-list SRAM layout).  The solver additionally records an event
+trace (decisions, implications, clause fetches, conflicts) that the
+architecture simulator replays cycle by cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.cnf import CNF, Literal, var_of
+
+
+class SolveResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CDCLStats:
+    """Search counters; the hardware model consumes these as a workload trace."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    clause_fetches: int = 0
+    deleted_clauses: int = 0
+
+
+@dataclass
+class TraceEvent:
+    """One BCP-visible event, replayed by the accelerator simulator."""
+
+    kind: str  # "decide" | "imply" | "conflict" | "restart" | "backjump"
+    literal: int = 0
+    level: int = 0
+    clause_size: int = 0
+
+
+class _Clause:
+    """Mutable clause with the two watched literals at positions 0 and 1."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[Literal], learned: bool = False):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """CDCL solver over a :class:`~repro.logic.cnf.CNF` formula.
+
+    Parameters
+    ----------
+    var_decay:
+        VSIDS activity decay factor applied after each conflict.
+    restart_base:
+        Conflict interval unit for the Luby restart sequence.
+    clause_db_limit:
+        Soft cap on learned clauses before deletion of low-activity ones.
+    max_conflicts:
+        Optional budget; exceeding it returns ``SolveResult.UNKNOWN``.
+    record_trace:
+        When True, keep the BCP event trace (costs memory on big runs).
+    """
+
+    def __init__(
+        self,
+        var_decay: float = 0.95,
+        restart_base: int = 100,
+        clause_db_limit: int = 4000,
+        max_conflicts: Optional[int] = None,
+        record_trace: bool = False,
+    ):
+        self.var_decay = var_decay
+        self.restart_base = restart_base
+        self.clause_db_limit = clause_db_limit
+        self.max_conflicts = max_conflicts
+        self.record_trace = record_trace
+        self.stats = CDCLStats()
+        self.trace: List[TraceEvent] = []
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._watches: Dict[Literal, List[_Clause]] = {}
+        self._assign: Dict[int, bool] = {}
+        self._level: Dict[int, int] = {}
+        self._reason: Dict[int, Optional[_Clause]] = {}
+        self._trail: List[Literal] = []
+        self._trail_lim: List[int] = []
+        self._activity: Dict[int, float] = {}
+        self._activity_inc = 1.0
+
+    # ----------------------------------------------------------------- api
+
+    def solve(
+        self, formula: CNF, assumptions: Sequence[Literal] = ()
+    ) -> Tuple[SolveResult, Optional[Dict[int, bool]]]:
+        """Solve the formula, returning (result, model-or-None)."""
+        self._initialize(formula)
+        for clause in formula.clauses:
+            if clause.is_empty:
+                return SolveResult.UNSAT, None
+        if not self._attach_all():
+            return SolveResult.UNSAT, None
+
+        for lit in assumptions:
+            if not self._assume(lit):
+                return SolveResult.UNSAT, None
+
+        conflicts_until_restart = self._luby(self.stats.restarts + 1) * self.restart_base
+        conflicts_since_restart = 0
+        num_assumptions = len(self._trail_lim)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                self._emit("conflict", level=self._decision_level())
+                if self._decision_level() <= num_assumptions:
+                    return SolveResult.UNSAT, None
+                if self.max_conflicts is not None and self.stats.conflicts > self.max_conflicts:
+                    return SolveResult.UNKNOWN, None
+                learned, backjump_level = self._analyze(conflict)
+                backjump_level = max(backjump_level, num_assumptions)
+                self._backjump(backjump_level)
+                self._learn(learned)
+                self._decay_activities()
+            else:
+                if conflicts_since_restart >= conflicts_until_restart:
+                    self.stats.restarts += 1
+                    conflicts_since_restart = 0
+                    conflicts_until_restart = self._luby(self.stats.restarts + 1) * self.restart_base
+                    self._backjump(num_assumptions)
+                    self._emit("restart")
+                if len(self._clauses) > len(formula.clauses) + self.clause_db_limit:
+                    self._reduce_clause_db()
+                lit = self._pick_branch_literal()
+                if lit is None:
+                    return SolveResult.SAT, dict(self._assign)
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self.stats.max_decision_level = max(
+                    self.stats.max_decision_level, self._decision_level()
+                )
+                self._emit("decide", literal=lit, level=self._decision_level())
+                self._enqueue(lit, reason=None)
+
+    # ------------------------------------------------------------ internals
+
+    def _initialize(self, formula: CNF) -> None:
+        self.stats = CDCLStats()
+        self.trace = []
+        self._num_vars = formula.num_vars
+        self._clauses = []
+        self._watches = {}
+        self._assign = {}
+        self._level = {}
+        self._reason = {}
+        self._trail = []
+        self._trail_lim = []
+        self._activity = {v: 0.0 for v in range(1, formula.num_vars + 1)}
+        self._activity_inc = 1.0
+        self._pending: List[_Clause] = []
+        for clause in formula.clauses:
+            if not clause.is_tautology:
+                self._pending.append(_Clause(list(clause.literals)))
+
+    def _attach_all(self) -> bool:
+        """Attach initial clauses; returns False on immediate conflict."""
+        for clause in self._pending:
+            if len(clause.lits) == 1:
+                lit = clause.lits[0]
+                if self._value(lit) is False:
+                    return False
+                if self._value(lit) is None:
+                    self._enqueue(lit, reason=clause)
+                self._clauses.append(clause)
+            else:
+                self._clauses.append(clause)
+                self._watch(clause.lits[0], clause)
+                self._watch(clause.lits[1], clause)
+        return self._propagate() is None
+
+    def _watch(self, lit: Literal, clause: _Clause) -> None:
+        self._watches.setdefault(lit, []).append(clause)
+
+    def _value(self, lit: Literal) -> Optional[bool]:
+        value = self._assign.get(var_of(lit))
+        if value is None:
+            return None
+        return value == (lit > 0)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _assume(self, lit: Literal) -> bool:
+        """Push an assumption at a fresh decision level and propagate."""
+        if self._value(lit) is False:
+            return False
+        self._trail_lim.append(len(self._trail))
+        if self._value(lit) is None:
+            self._enqueue(lit, reason=None)
+        return self._propagate() is None
+
+    def _enqueue(self, lit: Literal, reason: Optional[_Clause]) -> None:
+        variable = var_of(lit)
+        self._assign[variable] = lit > 0
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Two-watched-literal BCP; returns the conflicting clause if any."""
+        head = getattr(self, "_qhead", 0)
+        # The queue head can regress after backjumps.
+        head = min(head, len(self._trail))
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit, [])
+            self._watches[false_lit] = []
+            idx = 0
+            while idx < len(watchers):
+                clause = watchers[idx]
+                idx += 1
+                self.stats.clause_fetches += 1
+                # Ensure the false literal sits at position 1.
+                if clause.lits[0] == false_lit:
+                    clause.lits[0], clause.lits[1] = clause.lits[1], clause.lits[0]
+                first = clause.lits[0]
+                if self._value(first) is True:
+                    self._watch(false_lit, clause)
+                    continue
+                # Search a replacement watch.
+                found = False
+                for pos in range(2, len(clause.lits)):
+                    if self._value(clause.lits[pos]) is not False:
+                        clause.lits[1], clause.lits[pos] = clause.lits[pos], clause.lits[1]
+                        self._watch(clause.lits[1], clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                self._watch(false_lit, clause)
+                if self._value(first) is False:
+                    self._watches[false_lit].extend(watchers[idx:])
+                    self._qhead = len(self._trail)
+                    return clause
+                self.stats.propagations += 1
+                self._emit(
+                    "imply",
+                    literal=first,
+                    level=self._decision_level(),
+                    clause_size=len(clause.lits),
+                )
+                self._enqueue(first, reason=clause)
+        self._qhead = head
+        return None
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[Literal], int]:
+        """1-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the
+        backjump level.
+        """
+        current_level = self._decision_level()
+        seen: set = set()
+        learned: List[Literal] = []
+        counter = 0
+        lit: Optional[Literal] = None
+        reason: Optional[_Clause] = conflict
+        trail_idx = len(self._trail) - 1
+
+        while True:
+            assert reason is not None
+            reason.activity += self._activity_inc
+            for q in reason.lits:
+                if lit is not None and q == lit:
+                    continue
+                variable = var_of(q)
+                if variable in seen or self._level.get(variable, 0) == 0:
+                    continue
+                seen.add(variable)
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # Walk the trail backwards to the next marked literal.
+            while trail_idx >= 0 and var_of(self._trail[trail_idx]) not in seen:
+                trail_idx -= 1
+            if trail_idx < 0:
+                break
+            lit = self._trail[trail_idx]
+            variable = var_of(lit)
+            seen.discard(variable)
+            trail_idx -= 1
+            counter -= 1
+            if counter == 0:
+                learned.insert(0, -lit)
+                break
+            reason = self._reason.get(variable)
+            if reason is None:
+                # Decision literal reached without a unique implication
+                # point: learn the negation of the decision.
+                learned.insert(0, -lit)
+                break
+
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted({self._level[var_of(q)] for q in learned[1:]}, reverse=True)
+        backjump = levels[0] if levels else 0
+        # Put a literal from the backjump level in the second watch slot.
+        for pos in range(1, len(learned)):
+            if self._level[var_of(learned[pos])] == backjump:
+                learned[1], learned[pos] = learned[pos], learned[1]
+                break
+        return learned, backjump
+
+    def _backjump(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        cut = self._trail_lim[level]
+        for lit in self._trail[cut:]:
+            variable = var_of(lit)
+            self._assign.pop(variable, None)
+            self._level.pop(variable, None)
+            self._reason.pop(variable, None)
+        del self._trail[cut:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+        self._emit("backjump", level=level)
+
+    def _learn(self, learned: List[Literal]) -> None:
+        self.stats.learned_clauses += 1
+        self.stats.learned_literals += len(learned)
+        clause = _Clause(list(learned), learned=True)
+        clause.activity = self._activity_inc
+        self._clauses.append(clause)
+        if len(learned) >= 2:
+            self._watch(learned[0], clause)
+            self._watch(learned[1], clause)
+        self._enqueue(learned[0], reason=clause if len(learned) >= 2 else None)
+
+    def _reduce_clause_db(self) -> None:
+        """Delete the lower-activity half of learned clauses not in use."""
+        learned = [c for c in self._clauses if c.learned]
+        learned.sort(key=lambda c: c.activity)
+        locked = {id(r) for r in self._reason.values() if r is not None}
+        to_delete = {
+            id(c)
+            for c in learned[: len(learned) // 2]
+            if id(c) not in locked and len(c.lits) > 2
+        }
+        if not to_delete:
+            return
+        self.stats.deleted_clauses += len(to_delete)
+        self._clauses = [c for c in self._clauses if id(c) not in to_delete]
+        for lit in list(self._watches):
+            self._watches[lit] = [c for c in self._watches[lit] if id(c) not in to_delete]
+
+    def _pick_branch_literal(self) -> Optional[Literal]:
+        best_var: Optional[int] = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if variable in self._assign:
+                continue
+            activity = self._activity.get(variable, 0.0)
+            if activity > best_activity:
+                best_var, best_activity = variable, activity
+        if best_var is None:
+            return None
+        return best_var  # positive polarity first; phase saving is overkill here
+
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] = self._activity.get(variable, 0.0) + self._activity_inc
+        if self._activity[variable] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_inc /= self.var_decay
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based index)."""
+        x = i - 1
+        size, seq = 1, 0
+        while size < x + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != x:
+            size = (size - 1) >> 1
+            seq -= 1
+            x %= size
+        return 1 << seq
+
+    def _emit(self, kind: str, literal: int = 0, level: int = 0, clause_size: int = 0) -> None:
+        if self.record_trace:
+            self.trace.append(TraceEvent(kind, literal, level, clause_size))
+
+
+def solve_cnf(formula: CNF, **kwargs) -> Tuple[SolveResult, Optional[Dict[int, bool]]]:
+    """Convenience wrapper: run CDCL on a formula."""
+    return CDCLSolver(**kwargs).solve(formula)

@@ -1,0 +1,117 @@
+"""Cube-and-conquer SAT solving (Heule et al.), paper Sec. II-C / V-E.
+
+A lookahead DPLL phase splits the search space into "cubes" (partial
+assignments); each cube is then "conquered" by an independent CDCL
+solver.  REASON maps the cube phase onto its broadcast/reduction tree
+and hands conflicting cubes to the scalar PE for CDCL analysis; this
+module is the functional reference for that execution and supplies the
+per-cube work items that the architecture simulator schedules across
+tree PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.cdcl import CDCLSolver, SolveResult
+from repro.logic.cnf import CNF, Literal
+from repro.logic.dpll import DPLLSolver
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A partial assignment delimiting one independent subproblem."""
+
+    literals: Tuple[Literal, ...]
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+
+@dataclass
+class CubeStats:
+    cubes_generated: int = 0
+    cubes_refuted_inline: int = 0
+    cdcl_conflicts_total: int = 0
+    cdcl_decisions_total: int = 0
+
+
+class CubeAndConquerSolver:
+    """Split with lookahead DPLL, conquer with CDCL.
+
+    Parameters
+    ----------
+    cutoff_depth:
+        Depth of the splitting tree; generates at most ``2**cutoff_depth``
+        cubes.
+    conquer_kwargs:
+        Extra keyword arguments forwarded to each conquer-phase
+        :class:`~repro.logic.cdcl.CDCLSolver`.
+    """
+
+    def __init__(self, cutoff_depth: int = 4, **conquer_kwargs):
+        self.cutoff_depth = cutoff_depth
+        self.conquer_kwargs = conquer_kwargs
+        self.stats = CubeStats()
+
+    def split(self, formula: CNF) -> List[Cube]:
+        """Generate cubes with lookahead variable ranking.
+
+        Branches on the strongest lookahead variable at each level; cubes
+        refuted by unit propagation during splitting are dropped (counted
+        in ``stats.cubes_refuted_inline``).
+        """
+        self.stats = CubeStats()
+        lookahead = DPLLSolver(use_lookahead=True)
+        cubes: List[Cube] = []
+
+        def recurse(working: CNF, prefix: Tuple[Literal, ...], depth: int) -> None:
+            reduced, _, conflict = lookahead._propagate(working, {})
+            if conflict:
+                self.stats.cubes_refuted_inline += 1
+                return
+            if depth >= self.cutoff_depth or not reduced.clauses:
+                cubes.append(Cube(prefix))
+                self.stats.cubes_generated += 1
+                return
+            variable = lookahead._lookahead_variable(reduced)
+            if variable == 0:
+                cubes.append(Cube(prefix))
+                self.stats.cubes_generated += 1
+                return
+            for lit in (variable, -variable):
+                recurse(reduced.condition(lit), prefix + (lit,), depth + 1)
+
+        recurse(formula, (), 0)
+        return cubes
+
+    def solve(self, formula: CNF) -> Tuple[SolveResult, Optional[Dict[int, bool]]]:
+        """Full cube-and-conquer: SAT if any cube is satisfiable."""
+        cubes = self.split(formula)
+        if not cubes and self.stats.cubes_refuted_inline:
+            return SolveResult.UNSAT, None
+        for cube in cubes:
+            solver = CDCLSolver(**self.conquer_kwargs)
+            result, model = solver.solve(formula, assumptions=cube.literals)
+            self.stats.cdcl_conflicts_total += solver.stats.conflicts
+            self.stats.cdcl_decisions_total += solver.stats.decisions
+            if result is SolveResult.SAT:
+                return SolveResult.SAT, model
+            if result is SolveResult.UNKNOWN:
+                return SolveResult.UNKNOWN, None
+        return SolveResult.UNSAT, None
+
+    def conquer_workloads(self, formula: CNF) -> List[Tuple[Cube, "CDCLSolver"]]:
+        """Solve every cube independently and return the per-cube solvers.
+
+        Used by the architecture simulator to model concurrent CDCL
+        "conquer" engines (Fig. 9 top): each returned solver carries the
+        trace/statistics for its cube.
+        """
+        pairs: List[Tuple[Cube, CDCLSolver]] = []
+        for cube in self.split(formula):
+            solver = CDCLSolver(record_trace=True, **self.conquer_kwargs)
+            solver.solve(formula, assumptions=cube.literals)
+            pairs.append((cube, solver))
+        return pairs

@@ -1,0 +1,55 @@
+"""First-order logic substrate: terms, formulas, unification,
+clausification (Skolemization to CNF), resolution proving and
+forward chaining.
+
+FOL is the "slow thinking" language of the paper's workloads (Fig. 1):
+AlphaGeometry-style deduction and LINC-style natural-language reasoning
+both reduce to FOL entailment checks, which REASON executes as DAG
+traversals after clausification.
+"""
+
+from repro.logic.fol.terms import (
+    Var,
+    Const,
+    Func,
+    Term,
+    Predicate,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    ForAll,
+    Exists,
+    Formula,
+)
+from repro.logic.fol.unification import unify, substitute, Substitution
+from repro.logic.fol.clausify import clausify, FOLClause, ground_to_cnf
+from repro.logic.fol.resolution import ResolutionProver, ProofStep
+from repro.logic.fol.chase import ForwardChainer, HornRule
+
+__all__ = [
+    "Var",
+    "Const",
+    "Func",
+    "Term",
+    "Predicate",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "ForAll",
+    "Exists",
+    "Formula",
+    "unify",
+    "substitute",
+    "Substitution",
+    "clausify",
+    "FOLClause",
+    "ground_to_cnf",
+    "ResolutionProver",
+    "ProofStep",
+    "ForwardChainer",
+    "HornRule",
+]

@@ -1,0 +1,161 @@
+"""Forward chaining over Horn rules (the "rule reasoning" primitive).
+
+Datalog-style semi-naive evaluation: rules with conjunctive bodies and a
+single positive head are applied to a growing fact base until fixpoint.
+This is the deduction engine used by the AlphaGeometry-style workload
+(geometric deduction database) and the question-answering workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.fol.terms import Const, Func, Predicate, Term, Var
+from repro.logic.fol.unification import (
+    Substitution,
+    substitute_predicate,
+    unify_predicates,
+)
+
+
+@dataclass(frozen=True)
+class HornRule:
+    """``head :- body[0], body[1], ...`` with shared variables."""
+
+    head: Predicate
+    body: Tuple[Predicate, ...]
+    name: str = ""
+
+    def __repr__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.head!r} :- {', '.join(map(repr, self.body))}"
+
+
+@dataclass
+class ChaseStats:
+    iterations: int = 0
+    rule_applications: int = 0
+    facts_derived: int = 0
+    unification_attempts: int = 0
+
+
+class ForwardChainer:
+    """Semi-naive forward chaining to fixpoint.
+
+    Parameters
+    ----------
+    max_iterations:
+        Fixpoint-round budget (guards non-terminating rule sets with
+        function symbols).
+    max_facts:
+        Fact-base size budget.
+    """
+
+    def __init__(self, max_iterations: int = 100, max_facts: int = 100_000):
+        self.max_iterations = max_iterations
+        self.max_facts = max_facts
+        self.stats = ChaseStats()
+        self.derivations: Dict[Predicate, Tuple[str, Tuple[Predicate, ...]]] = {}
+
+    def run(
+        self, facts: Iterable[Predicate], rules: Iterable[HornRule]
+    ) -> FrozenSet[Predicate]:
+        """Return the least fixpoint of the rules over the facts."""
+        self.stats = ChaseStats()
+        self.derivations = {}
+        rules = list(rules)
+        base: Set[Predicate] = set(facts)
+        by_name: Dict[str, Set[Predicate]] = {}
+        for fact in base:
+            by_name.setdefault(fact.name, set()).add(fact)
+        delta: Set[Predicate] = set(base)
+
+        while delta and self.stats.iterations < self.max_iterations:
+            self.stats.iterations += 1
+            fresh: Set[Predicate] = set()
+            for rule in rules:
+                # Semi-naive: require at least one body atom matched in delta.
+                for pivot in range(len(rule.body)):
+                    for new_fact in self._apply(rule, pivot, by_name, delta):
+                        if new_fact not in base and new_fact not in fresh:
+                            fresh.add(new_fact)
+                            self.stats.facts_derived += 1
+                            if len(base) + len(fresh) > self.max_facts:
+                                raise RuntimeError("fact-base budget exhausted")
+            base |= fresh
+            for fact in fresh:
+                by_name.setdefault(fact.name, set()).add(fact)
+            delta = fresh
+        return frozenset(base)
+
+    def entails(
+        self, facts: Iterable[Predicate], rules: Iterable[HornRule], goal: Predicate
+    ) -> bool:
+        """Ground-goal entailment via fixpoint membership."""
+        closure = self.run(facts, rules)
+        return goal in closure
+
+    def _apply(
+        self,
+        rule: HornRule,
+        pivot: int,
+        by_name: Dict[str, Set[Predicate]],
+        delta: Set[Predicate],
+    ) -> List[Predicate]:
+        """All head instances with body[pivot] bound to a delta fact."""
+        out: List[Predicate] = []
+
+        def extend(pos: int, subst: Substitution) -> None:
+            if pos == len(rule.body):
+                head = substitute_predicate(rule.head, subst)
+                if _is_ground(head):
+                    self.stats.rule_applications += 1
+                    grounded_body = tuple(
+                        substitute_predicate(b, subst) for b in rule.body
+                    )
+                    if head not in self.derivations:
+                        self.derivations[head] = (rule.name, grounded_body)
+                    out.append(head)
+                return
+            atom = rule.body[pos]
+            pool = delta if pos == pivot else by_name.get(atom.name, set())
+            for fact in pool:
+                if fact.name != atom.name:
+                    continue
+                self.stats.unification_attempts += 1
+                unified = unify_predicates(atom, fact, subst)
+                if unified is not None:
+                    extend(pos + 1, unified)
+
+        extend(0, {})
+        return out
+
+    def explain(self, fact: Predicate) -> List[Tuple[Predicate, str, Tuple[Predicate, ...]]]:
+        """Trace the derivation tree of a derived fact (proof transcript)."""
+        trace: List[Tuple[Predicate, str, Tuple[Predicate, ...]]] = []
+        stack = [fact]
+        visited: Set[Predicate] = set()
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            derivation = self.derivations.get(current)
+            if derivation is None:
+                continue
+            rule_name, body = derivation
+            trace.append((current, rule_name, body))
+            stack.extend(body)
+        return trace
+
+
+def _is_ground(atom: Predicate) -> bool:
+    def ground(term: Term) -> bool:
+        if isinstance(term, Var):
+            return False
+        if isinstance(term, Const):
+            return True
+        return all(ground(a) for a in term.args)
+
+    return all(ground(a) for a in atom.args)

@@ -1,0 +1,74 @@
+"""Syntactic unification with occurs check."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.logic.fol.terms import Const, Func, Predicate, Term, Var, term_variables
+
+Substitution = Dict[Var, Term]
+
+
+def substitute(term: Term, subst: Substitution) -> Term:
+    """Apply a substitution to a term, following chained bindings."""
+    if isinstance(term, Var):
+        bound = subst.get(term)
+        if bound is None:
+            return term
+        # Follow the chain so callers never observe intermediate vars.
+        return substitute(bound, subst) if bound != term else term
+    if isinstance(term, Const):
+        return term
+    return Func(term.name, tuple(substitute(a, subst) for a in term.args))
+
+
+def substitute_predicate(pred: Predicate, subst: Substitution) -> Predicate:
+    """Apply a substitution to every argument of an atom."""
+    return Predicate(pred.name, tuple(substitute(a, subst) for a in pred.args))
+
+
+def _occurs(variable: Var, term: Term, subst: Substitution) -> bool:
+    term = substitute(term, subst)
+    return variable in term_variables(term)
+
+
+def unify(a: Term, b: Term, subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Most general unifier of two terms, or None if they don't unify."""
+    subst = dict(subst) if subst else {}
+    stack = [(a, b)]
+    while stack:
+        left, right = stack.pop()
+        left = substitute(left, subst)
+        right = substitute(right, subst)
+        if left == right:
+            continue
+        if isinstance(left, Var):
+            if _occurs(left, right, subst):
+                return None
+            subst[left] = right
+            continue
+        if isinstance(right, Var):
+            if _occurs(right, left, subst):
+                return None
+            subst[right] = left
+            continue
+        if isinstance(left, Const) or isinstance(right, Const):
+            return None  # distinct constants or const-vs-func
+        if left.name != right.name or len(left.args) != len(right.args):
+            return None
+        stack.extend(zip(left.args, right.args))
+    return subst
+
+
+def unify_predicates(
+    a: Predicate, b: Predicate, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two atoms (same predicate symbol and arity required)."""
+    if a.name != b.name or len(a.args) != len(b.args):
+        return None
+    subst = dict(subst) if subst else {}
+    for ta, tb in zip(a.args, b.args):
+        subst = unify(ta, tb, subst)
+        if subst is None:
+            return None
+    return subst

@@ -1,0 +1,214 @@
+"""Binary implication graphs and hidden-literal pruning (paper Sec. IV-B-a).
+
+Every binary clause ``(l ∨ l')`` induces the implications ``¬l → l'`` and
+``¬l' → l``.  The resulting directed graph over literals captures forced
+assignments; a literal that implies another literal of the same clause is
+*hidden* — removing it is a self-subsuming resolution step, so the clause
+can be narrowed without changing satisfiability (hidden literal
+elimination, HLE).  A clause entailed through the implication chains of
+the *other* clauses is a hidden tautology and can be dropped (HTE).
+Failed literals (literals whose implication closure contains a
+complementary pair) can be asserted negatively.
+
+Soundness requires care on two points that a naive reading of the paper
+glosses over: (1) a clause may not justify its own removal through the
+edges it itself induces, and (2) removals must be applied sequentially
+against the *current* formula, since two clauses can each be redundant
+with respect to the other but not simultaneously removable.  The
+implementation below maintains the implication graph incrementally with
+reference-counted edges to honor both.
+
+This module is the logic half of REASON's adaptive DAG pruning stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.cnf import CNF, Clause, Literal
+
+
+@dataclass
+class PruneReport:
+    """What hidden-literal pruning removed."""
+
+    literals_removed: int = 0
+    clauses_removed: int = 0
+    failed_literals: List[Literal] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.literals_removed or self.clauses_removed or self.failed_literals)
+
+
+class BinaryImplicationGraph:
+    """Directed implication graph over literals, with ref-counted edges.
+
+    Reference counting lets callers exclude the edges a specific binary
+    clause induces (to avoid circular self-justification) and lets the
+    pruner keep the graph consistent as clauses are removed or narrowed.
+    """
+
+    def __init__(self, formula: Optional[CNF] = None):
+        self._succ: Dict[Literal, Dict[Literal, int]] = {}
+        self.num_edges = 0
+        if formula is not None:
+            for clause in formula.clauses:
+                if len(clause) == 2:
+                    self.add_clause_edges(clause)
+
+    def add_clause_edges(self, clause: Clause) -> None:
+        """Register the two implications of a binary clause."""
+        a, b = clause.literals
+        self._add_edge(-a, b)
+        self._add_edge(-b, a)
+
+    def remove_clause_edges(self, clause: Clause) -> None:
+        """Unregister a binary clause's implications."""
+        a, b = clause.literals
+        self._remove_edge(-a, b)
+        self._remove_edge(-b, a)
+
+    def _add_edge(self, src: Literal, dst: Literal) -> None:
+        bucket = self._succ.setdefault(src, {})
+        if dst not in bucket:
+            self.num_edges += 1
+        bucket[dst] = bucket.get(dst, 0) + 1
+
+    def _remove_edge(self, src: Literal, dst: Literal) -> None:
+        bucket = self._succ.get(src)
+        if not bucket or dst not in bucket:
+            return
+        bucket[dst] -= 1
+        if bucket[dst] == 0:
+            del bucket[dst]
+            self.num_edges -= 1
+
+    def successors(self, lit: Literal) -> FrozenSet[Literal]:
+        return frozenset(self._succ.get(lit, ()))
+
+    def reachable(
+        self, lit: Literal, exclude: Optional[Clause] = None
+    ) -> FrozenSet[Literal]:
+        """All literals implied by ``lit`` (excluding ``lit`` itself).
+
+        Depth-first traversal, linear in the graph size as the paper
+        requires.  When ``exclude`` is a binary clause, edges only that
+        clause induces are ignored.
+        """
+        forbidden: Set[Tuple[Literal, Literal]] = set()
+        if exclude is not None and len(exclude) == 2:
+            a, b = exclude.literals
+            for src, dst in ((-a, b), (-b, a)):
+                if self._succ.get(src, {}).get(dst, 0) == 1:
+                    forbidden.add((src, dst))
+        seen: Set[Literal] = set()
+        stack = [lit]
+        while stack:
+            current = stack.pop()
+            for nxt in self._succ.get(current, ()):
+                if (current, nxt) in forbidden:
+                    continue
+                if nxt not in seen and nxt != lit:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def implies(self, a: Literal, b: Literal) -> bool:
+        return b in self.reachable(a)
+
+    def failed_literals(self, variables: Iterable[int]) -> List[Literal]:
+        """Literals whose closure contains a complementary pair.
+
+        If asserting ``l`` forces both ``x`` and ``¬x``, then ``¬l`` is a
+        consequence of the formula.
+        """
+        failed: List[Literal] = []
+        for variable in variables:
+            for lit in (variable, -variable):
+                closure = self.reachable(lit)
+                if -lit in closure or any(-x in closure for x in closure):
+                    failed.append(lit)
+                    break  # asserting the other polarity is then forced anyway
+        return failed
+
+
+def prune_hidden_literals(
+    formula: CNF, max_clause_width: int = 64
+) -> Tuple[CNF, PruneReport]:
+    """Hidden tautology elimination + hidden literal elimination.
+
+    Clauses are visited in order against a live implication graph:
+
+    * **HTE** — drop clause ``C`` when for some ``l ∈ C`` the chain
+      ``¬l → l'`` reaches another ``l' ∈ C`` through *other* clauses
+      (then the rest of the formula entails ``C``).
+    * **HLE** — inside ``C``, repeatedly remove a literal ``l`` that
+      implies another literal still in ``C`` (self-subsuming resolution
+      with the witnessing binary chain).
+
+    Each removal immediately updates the graph, so later removals are
+    justified only by clauses still present.  The procedure preserves
+    satisfiability exactly and runs in time linear in the graph size per
+    clause visit.  Clauses wider than ``max_clause_width`` are skipped
+    to bound cost.
+    """
+    graph = BinaryImplicationGraph(formula)
+    report = PruneReport()
+    pruned: List[Clause] = []
+
+    for clause in formula.clauses:
+        if len(clause) > max_clause_width or len(clause) < 2:
+            pruned.append(clause)
+            continue
+        if clause.is_tautology:
+            report.clauses_removed += 1
+            if len(clause) == 2:
+                graph.remove_clause_edges(clause)
+            continue
+        literals = list(clause.literals)
+        # HTE: entailed through other clauses' implications?
+        tautology = False
+        for lit in literals:
+            implied_by_neg = graph.reachable(-lit, exclude=clause)
+            if any(other in implied_by_neg for other in literals if other != lit):
+                tautology = True
+                break
+        if tautology:
+            report.clauses_removed += 1
+            if len(clause) == 2:
+                graph.remove_clause_edges(clause)
+            continue
+        # HLE: sequentially drop literals implying a kept sibling.
+        current = clause
+        changed = True
+        while changed and len(current) >= 2:
+            changed = False
+            for lit in current.literals:
+                closure = graph.reachable(lit, exclude=current)
+                if any(other in closure for other in current.literals if other != lit):
+                    narrowed = current.without(lit)
+                    report.literals_removed += 1
+                    if len(current) == 2:
+                        graph.remove_clause_edges(current)
+                    if len(narrowed) == 2:
+                        graph.add_clause_edges(narrowed)
+                    current = narrowed
+                    changed = True
+                    break
+        pruned.append(current)
+
+    out = CNF(pruned, formula.num_vars)
+    report.failed_literals = BinaryImplicationGraph(out).failed_literals(
+        sorted(out.variables())
+    )
+    return out, report
+
+
+def apply_failed_literals(formula: CNF, failed: Iterable[Literal]) -> CNF:
+    """Condition the formula on the negations of failed literals."""
+    out = formula
+    for lit in failed:
+        out = out.condition(-lit)
+    return out

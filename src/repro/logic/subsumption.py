@@ -1,0 +1,127 @@
+"""Clause subsumption elimination and self-subsuming resolution.
+
+Complements hidden-literal pruning in REASON's Stage-2 preprocessing:
+a clause ``C`` subsumed by ``D ⊆ C`` is redundant; and when ``D``
+resolves with ``C`` on one literal to produce a subset of ``C``
+(self-subsuming resolution), ``C`` can be strengthened by deleting that
+literal.  Both are standard SatELite-style simplifications, exact with
+respect to satisfiability (indeed logical equivalence).
+
+Implementation uses one-watched-literal indexing: each clause is
+indexed under its least-frequent literal, so subsumption candidates for
+``C`` are found by scanning only the buckets of ``C``'s literals —
+mirroring how the hardware's watch-list indexing turns database scans
+into selective accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.logic.cnf import CNF, Clause, Literal
+
+
+@dataclass
+class SubsumptionReport:
+    clauses_subsumed: int = 0
+    literals_strengthened: int = 0
+    rounds: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.clauses_subsumed or self.literals_strengthened)
+
+
+def _subsumes(small: FrozenSet[Literal], big: FrozenSet[Literal]) -> bool:
+    return small <= big
+
+
+def eliminate_subsumed(formula: CNF, max_rounds: int = 4) -> Tuple[CNF, SubsumptionReport]:
+    """Remove subsumed clauses and apply self-subsuming resolution.
+
+    Runs to fixpoint (bounded by ``max_rounds``): strengthening a clause
+    can enable new subsumptions, so the two passes alternate.  Preserves
+    logical equivalence.
+    """
+    report = SubsumptionReport()
+    clauses: List[Optional[FrozenSet[Literal]]] = [
+        frozenset(c.literals) for c in formula.simplify().clauses
+    ]
+
+    for _ in range(max_rounds):
+        report.rounds += 1
+        changed = False
+
+        # Index: literal -> clause indices containing it.
+        buckets: Dict[Literal, List[int]] = {}
+        for idx, lits in enumerate(clauses):
+            if lits is None:
+                continue
+            for lit in lits:
+                buckets.setdefault(lit, []).append(idx)
+
+        # Forward subsumption: for each clause, check clauses sharing
+        # its least-populated literal bucket.
+        order = sorted(
+            (i for i, c in enumerate(clauses) if c is not None),
+            key=lambda i: len(clauses[i]),  # type: ignore[arg-type]
+        )
+        for idx in order:
+            small = clauses[idx]
+            if small is None or not small:
+                continue  # empty clause: formula is UNSAT, keep as-is
+            pivot = min(small, key=lambda l: len(buckets.get(l, ())))
+            for other_idx in buckets.get(pivot, ()):
+                big = clauses[other_idx]
+                if other_idx == idx or big is None:
+                    continue
+                if len(small) < len(big) and _subsumes(small, big):
+                    clauses[other_idx] = None
+                    report.clauses_subsumed += 1
+                    changed = True
+                elif small == big and other_idx > idx:
+                    clauses[other_idx] = None
+                    report.clauses_subsumed += 1
+                    changed = True
+
+        # Self-subsuming resolution: D = (l ∨ R), C ⊇ (¬l ∨ R) allows
+        # removing ¬l from C.
+        for idx, small in enumerate(clauses):
+            if small is None:
+                continue
+            if not small:
+                continue
+            for lit in list(small):
+                flipped = (small - {lit}) | {-lit}
+                pivot = min(flipped, key=lambda l: len(buckets.get(l, ())))
+                for other_idx in buckets.get(pivot, ()):
+                    big = clauses[other_idx]
+                    if big is None or other_idx == idx:
+                        continue
+                    if -lit in big and _subsumes(flipped, big):
+                        strengthened = big - {-lit}
+                        if strengthened != big:
+                            clauses[other_idx] = strengthened
+                            report.literals_strengthened += 1
+                            changed = True
+        if not changed:
+            break
+
+    kept = [Clause(sorted(c)) for c in clauses if c is not None]
+    return CNF(kept, formula.num_vars), report
+
+
+def preprocess(formula: CNF) -> Tuple[CNF, dict]:
+    """Combined Stage-2 logic preprocessing: subsumption elimination
+    followed by hidden-literal pruning.
+
+    Returns the simplified formula and a report dict with both passes'
+    statistics.  Exact: the result is equisatisfiable (equivalent) to
+    the input.
+    """
+    from repro.logic.implication_graph import prune_hidden_literals
+
+    subsumed, sub_report = eliminate_subsumed(formula)
+    pruned, hidden_report = prune_hidden_literals(subsumed)
+    return pruned, {"subsumption": sub_report, "hidden_literals": hidden_report}

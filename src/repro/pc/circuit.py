@@ -1,0 +1,284 @@
+"""Probabilistic circuit structure: sum, product and leaf nodes.
+
+A circuit is a rooted DAG.  Leaves carry primitive distributions over a
+single discrete variable; product nodes factorize over disjoint variable
+scopes; sum nodes mix their children with non-negative normalized
+weights (paper Eq. 1).  Structural properties — smoothness (sum children
+share a scope) and decomposability (product children have disjoint
+scopes) — are what make inference tractable, and :meth:`Circuit.validate`
+checks them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class CircuitNode:
+    """Base class for circuit nodes; nodes are identified by object id."""
+
+    _ids = itertools.count()
+
+    def __init__(self) -> None:
+        self.node_id: int = next(CircuitNode._ids)
+
+    @property
+    def children(self) -> Tuple["CircuitNode", ...]:
+        return ()
+
+    def scope(self) -> FrozenSet[int]:
+        """Variable indices this node's distribution ranges over."""
+        raise NotImplementedError
+
+
+class LeafNode(CircuitNode):
+    """A primitive distribution over one discrete variable.
+
+    ``probabilities[v]`` is P(X = v); an *indicator* leaf puts all mass
+    on a single value and is used when compiling logical constraints.
+    """
+
+    def __init__(self, variable: int, probabilities: Sequence[float]):
+        super().__init__()
+        probs = np.asarray(probabilities, dtype=float)
+        if probs.ndim != 1 or len(probs) < 1:
+            raise ValueError("leaf needs a 1-D probability vector")
+        if np.any(probs < 0):
+            raise ValueError("leaf probabilities must be non-negative")
+        self.variable = variable
+        self.probabilities = probs
+
+    def scope(self) -> FrozenSet[int]:
+        return frozenset([self.variable])
+
+    def prob(self, value: Optional[int]) -> float:
+        """P(X = value); a None value marginalizes the leaf (sums to total mass)."""
+        if value is None:
+            return float(self.probabilities.sum())
+        if not 0 <= value < len(self.probabilities):
+            return 0.0
+        return float(self.probabilities[value])
+
+    def __repr__(self) -> str:
+        return f"Leaf(X{self.variable}, {np.round(self.probabilities, 3).tolist()})"
+
+
+class ProductNode(CircuitNode):
+    """Factorization over children with disjoint scopes."""
+
+    def __init__(self, children: Sequence[CircuitNode]):
+        super().__init__()
+        if not children:
+            raise ValueError("product node needs at least one child")
+        self._children = tuple(children)
+
+    @property
+    def children(self) -> Tuple[CircuitNode, ...]:
+        return self._children
+
+    def scope(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for child in self._children:
+            out |= child.scope()
+        return out
+
+    def __repr__(self) -> str:
+        return f"Product({len(self._children)} children)"
+
+
+class SumNode(CircuitNode):
+    """Weighted mixture of children sharing a scope."""
+
+    def __init__(self, children: Sequence[CircuitNode], weights: Sequence[float]):
+        super().__init__()
+        if not children:
+            raise ValueError("sum node needs at least one child")
+        if len(children) != len(weights):
+            raise ValueError("one weight per child required")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("sum weights must be non-negative")
+        self._children = tuple(children)
+        self.weights = w
+
+    @property
+    def children(self) -> Tuple[CircuitNode, ...]:
+        return self._children
+
+    def scope(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for child in self._children:
+            out |= child.scope()
+        return out
+
+    def normalize(self) -> None:
+        total = self.weights.sum()
+        if total > 0:
+            self.weights = self.weights / total
+
+    def __repr__(self) -> str:
+        return f"Sum({len(self._children)} children, w={np.round(self.weights, 3).tolist()})"
+
+
+@dataclass
+class Circuit:
+    """A rooted probabilistic circuit.
+
+    ``num_states[v]`` gives the cardinality of variable ``v``; binary
+    variables default to 2 states when not specified.
+    """
+
+    root: CircuitNode
+    num_states: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for variable in self.variables():
+            self.num_states.setdefault(variable, 2)
+
+    def variables(self) -> FrozenSet[int]:
+        return self.root.scope()
+
+    def topological_order(self) -> List[CircuitNode]:
+        """Children-before-parents order (bottom-up evaluation order)."""
+        order: List[CircuitNode] = []
+        visited: set = set()
+
+        def visit(node: CircuitNode) -> None:
+            if node.node_id in visited:
+                return
+            visited.add(node.node_id)
+            for child in node.children:
+                visit(child)
+            order.append(node)
+
+        visit(self.root)
+        return order
+
+    def nodes(self) -> List[CircuitNode]:
+        return self.topological_order()
+
+    def edges(self) -> List[Tuple[CircuitNode, CircuitNode]]:
+        """All (parent, child) pairs."""
+        out = []
+        for node in self.topological_order():
+            for child in node.children:
+                out.append((node, child))
+        return out
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.topological_order())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges())
+
+    @property
+    def num_parameters(self) -> int:
+        """Free parameters: sum weights plus leaf probabilities."""
+        count = 0
+        for node in self.topological_order():
+            if isinstance(node, SumNode):
+                count += len(node.weights)
+            elif isinstance(node, LeafNode):
+                count += len(node.probabilities)
+        return count
+
+    def is_smooth(self) -> bool:
+        """Every sum node's children share the same scope."""
+        for node in self.topological_order():
+            if isinstance(node, SumNode):
+                scopes = {child.scope() for child in node.children}
+                if len(scopes) > 1:
+                    return False
+        return True
+
+    def is_decomposable(self) -> bool:
+        """Every product node's children have pairwise disjoint scopes."""
+        for node in self.topological_order():
+            if isinstance(node, ProductNode):
+                seen: set = set()
+                for child in node.children:
+                    child_scope = child.scope()
+                    if seen & child_scope:
+                        return False
+                    seen |= child_scope
+        return True
+
+    def is_deterministic(self, max_assignments: int = 4096) -> bool:
+        """Every sum node has at most one non-zero child per assignment.
+
+        Checked by enumeration over the (small) joint assignment space;
+        determinism enables exact MAP and model counting.
+        """
+        from repro.pc.inference import _evaluate_all  # local import avoids a cycle
+
+        variables = sorted(self.variables())
+        spaces = [range(self.num_states[v]) for v in variables]
+        total = 1
+        for space in spaces:
+            total *= len(space)
+        if total > max_assignments:
+            raise ValueError(
+                f"assignment space {total} too large for determinism check"
+            )
+        sums = [n for n in self.topological_order() if isinstance(n, SumNode)]
+        for assignment_values in itertools.product(*spaces):
+            evidence = dict(zip(variables, assignment_values))
+            values = _evaluate_all(self, evidence)
+            for node in sums:
+                nonzero = sum(
+                    1
+                    for child, weight in zip(node.children, node.weights)
+                    if weight > 0 and values[child.node_id] > 0
+                )
+                if nonzero > 1:
+                    return False
+        return True
+
+    def validate(self) -> None:
+        """Raise ValueError unless the circuit is smooth and decomposable."""
+        if not self.is_smooth():
+            raise ValueError("circuit is not smooth")
+        if not self.is_decomposable():
+            raise ValueError("circuit is not decomposable")
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path length (edges)."""
+        depth: Dict[int, int] = {}
+        for node in self.topological_order():
+            if not node.children:
+                depth[node.node_id] = 0
+            else:
+                depth[node.node_id] = 1 + max(depth[c.node_id] for c in node.children)
+        return depth[self.root.node_id]
+
+    def max_fan_in(self) -> int:
+        return max((len(n.children) for n in self.topological_order()), default=0)
+
+
+def bernoulli_leaf(variable: int, p_true: float) -> LeafNode:
+    """Binary leaf with P(X=1) = p_true."""
+    if not 0.0 <= p_true <= 1.0:
+        raise ValueError("p_true must lie in [0, 1]")
+    return LeafNode(variable, [1.0 - p_true, p_true])
+
+
+def categorical_leaf(variable: int, probabilities: Sequence[float]) -> LeafNode:
+    """Categorical leaf; probabilities are normalized."""
+    probs = np.asarray(probabilities, dtype=float)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("categorical leaf needs positive total mass")
+    return LeafNode(variable, probs / total)
+
+
+def indicator_leaf(variable: int, value: int, num_states: int = 2) -> LeafNode:
+    """Leaf putting all mass on one value (logical literal as a leaf)."""
+    probs = np.zeros(num_states)
+    probs[value] = 1.0
+    return LeafNode(variable, probs)

@@ -1,0 +1,136 @@
+"""Compiling CNF formulas into deterministic probabilistic circuits.
+
+Knowledge compilation is the bridge between REASON's symbolic and
+probabilistic kernels: a CNF constraint compiled into a smooth,
+deterministic, decomposable circuit supports weighted model counting
+(WMC) and constrained generation — the machinery behind the paper's
+GeLaTo/Ctrl-G workloads, where an HMM's outputs are conjoined with a
+logical constraint circuit.
+
+The compiler is an exhaustive-DPLL (Shannon expansion) with formula
+caching, producing an OBDD-style circuit: linear-size for small or
+structured formulas, exponential in the worst case (WMC is #P-hard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.logic.cnf import CNF
+from repro.pc.circuit import (
+    Circuit,
+    CircuitNode,
+    LeafNode,
+    ProductNode,
+    SumNode,
+    indicator_leaf,
+)
+from repro.pc.inference import likelihood
+
+_TRUE = "TRUE"  # sentinel: satisfied formula over an empty remaining scope
+_Result = Union[CircuitNode, str, None]  # node | _TRUE | None (= False)
+
+
+def compile_cnf_to_circuit(
+    formula: CNF,
+    variable_order: Optional[Sequence[int]] = None,
+) -> Circuit:
+    """Compile a CNF into a smooth deterministic decomposable circuit.
+
+    The circuit's variables are the CNF's variables re-indexed to
+    ``var - 1``; its unnormalized output on a complete assignment is 1
+    when the assignment satisfies the formula, else 0.  Summing out all
+    variables therefore yields the model count.
+
+    Raises ``ValueError`` for formulas over more than 30 variables (the
+    exhaustive compiler targets the constraint sizes the paper's
+    workloads use).
+    """
+    if variable_order is None:
+        variables = sorted(formula.variables())
+    else:
+        variables = list(variable_order)
+    if len(variables) > 30:
+        raise ValueError("exhaustive compilation limited to 30 variables")
+
+    cache: Dict[Tuple, _Result] = {}
+    smooth_cache: Dict[Tuple[int, ...], CircuitNode] = {}
+
+    def free_scope(remaining: Tuple[int, ...]) -> CircuitNode:
+        """Uniform positive circuit over unconstrained variables (smoothing)."""
+        if remaining not in smooth_cache:
+            leaves: List[CircuitNode] = [LeafNode(v - 1, [1.0, 1.0]) for v in remaining]
+            smooth_cache[remaining] = leaves[0] if len(leaves) == 1 else ProductNode(leaves)
+        return smooth_cache[remaining]
+
+    def build(working: CNF, index: int) -> _Result:
+        """Circuit over ``variables[index:]``, _TRUE, or None for False."""
+        if any(c.is_empty for c in working.clauses):
+            return None
+        remaining = tuple(variables[index:])
+        if not working.clauses:
+            return free_scope(remaining) if remaining else _TRUE
+        key = (index, tuple(sorted(c.literals for c in working.clauses)))
+        if key in cache:
+            return cache[key]
+
+        variable = variables[index]
+        rest = tuple(variables[index + 1 :])
+        branches: List[CircuitNode] = []
+        for value, lit in ((1, variable), (0, -variable)):
+            sub = build(working.condition(lit), index + 1)
+            if sub is None:
+                continue
+            indicator = indicator_leaf(variable - 1, value)
+            if sub is _TRUE:
+                branches.append(indicator)
+            else:
+                branches.append(ProductNode([indicator, sub]))
+        result: _Result
+        if not branches:
+            result = None
+        elif len(branches) == 1:
+            result = branches[0]
+        else:
+            result = SumNode(branches, [1.0, 1.0])
+        cache[key] = result
+        return result
+
+    root = build(formula.simplify(), 0)
+    if root is None or root is _TRUE:
+        # Constant circuit over the full scope: 0 everywhere (UNSAT) or
+        # 1 everywhere (no constraints).
+        fill = 0.0 if root is None else 1.0
+        if not variables:
+            variables = [1]
+        leaves: List[CircuitNode] = [LeafNode(v - 1, [fill, fill]) for v in variables]
+        root = leaves[0] if len(leaves) == 1 else ProductNode(leaves)
+    circuit = Circuit(root, {v - 1: 2 for v in variables})
+    return circuit
+
+
+def weighted_model_count(
+    formula: CNF,
+    weights: Optional[Dict[int, float]] = None,
+) -> float:
+    """WMC via compilation: Σ over models of Π literal weights.
+
+    ``weights[v]`` is the weight of ``v`` being true; a false ``v``
+    weighs ``1 - weights[v]``.  Omitted variables weigh 1 for both
+    phases, so with no weights at all the result is the model count.
+    """
+    circuit = compile_cnf_to_circuit(formula)
+    if weights:
+        for node in circuit.topological_order():
+            if isinstance(node, LeafNode) and (node.variable + 1) in weights:
+                p = weights[node.variable + 1]
+                scaled = node.probabilities.copy()
+                scaled[1] *= p
+                scaled[0] *= 1.0 - p
+                node.probabilities = scaled
+    return likelihood(circuit, {})
+
+
+def model_count(formula: CNF) -> int:
+    """Exact #SAT by compilation."""
+    return round(weighted_model_count(formula))

@@ -1,0 +1,84 @@
+"""Top-down circuit flows (paper Sec. IV-B-b).
+
+For input ``x`` the flow through sum-edge ``(n, c)`` is
+
+    F_{n,c}(x) = (θ_{n,c} · p_c(x) / p_n(x)) · F_n(x)
+
+with ``F_root(x) = 1``: the fraction of the root's probability mass that
+passes through the edge.  Cumulative flows over a dataset rank edges for
+REASON's adaptive pruning; the decrease in average log-likelihood caused
+by deleting an edge is bounded by its mean flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.pc.circuit import Circuit, CircuitNode, LeafNode, ProductNode, SumNode
+from repro.pc.inference import Evidence, _evaluate_all
+
+EdgeKey = Tuple[int, int]  # (parent node_id, child node_id)
+
+
+def node_flows(circuit: Circuit, evidence: Evidence) -> Dict[int, float]:
+    """Top-down flow F_n(x) reaching each node for one input."""
+    values = _evaluate_all(circuit, evidence)
+    flows: Dict[int, float] = {node.node_id: 0.0 for node in circuit.topological_order()}
+    flows[circuit.root.node_id] = 1.0
+    for node in reversed(circuit.topological_order()):
+        flow = flows[node.node_id]
+        if flow == 0.0:
+            continue
+        if isinstance(node, SumNode):
+            parent_value = values[node.node_id]
+            if parent_value == 0.0:
+                continue
+            for child, weight in zip(node.children, node.weights):
+                share = weight * values[child.node_id] / parent_value
+                flows[child.node_id] += share * flow
+        elif isinstance(node, ProductNode):
+            # A product passes its full flow to every child.
+            for child in node.children:
+                flows[child.node_id] += flow
+    return flows
+
+
+def edge_flows(circuit: Circuit, evidence: Evidence) -> Dict[EdgeKey, float]:
+    """Flow through every sum edge for one input."""
+    values = _evaluate_all(circuit, evidence)
+    flows = node_flows(circuit, evidence)
+    out: Dict[EdgeKey, float] = {}
+    for node in circuit.topological_order():
+        if not isinstance(node, SumNode):
+            continue
+        parent_value = values[node.node_id]
+        for child, weight in zip(node.children, node.weights):
+            if parent_value > 0:
+                share = weight * values[child.node_id] / parent_value
+            else:
+                share = 0.0
+            out[(node.node_id, child.node_id)] = share * flows[node.node_id]
+    return out
+
+
+def dataset_edge_flows(
+    circuit: Circuit, dataset: Iterable[Evidence]
+) -> Tuple[Dict[EdgeKey, float], int]:
+    """Cumulative edge flows F_{n,c}(D) = Σ_x F_{n,c}(x) over a dataset.
+
+    Returns the flow map and the number of inputs accumulated.
+    """
+    totals: Dict[EdgeKey, float] = {}
+    count = 0
+    for evidence in dataset:
+        count += 1
+        for key, value in edge_flows(circuit, evidence).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals, count
+
+
+def flow_pruning_bound(cumulative_flow: float, dataset_size: int) -> float:
+    """Paper's bound: Δ log L ≤ F_{n,c}(D) / |D| for removing one edge."""
+    if dataset_size <= 0:
+        raise ValueError("dataset_size must be positive")
+    return cumulative_flow / dataset_size

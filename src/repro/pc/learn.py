@@ -1,0 +1,163 @@
+"""Parameter learning and structure generation for probabilistic circuits.
+
+EM via circuit flows: expected edge usage over the data gives the
+sufficient statistics for sum weights and leaf distributions in closed
+form — the same flow quantity REASON's pruning stage ranks edges by, so
+learning and pruning share one machinery.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pc.circuit import (
+    Circuit,
+    CircuitNode,
+    LeafNode,
+    ProductNode,
+    SumNode,
+    bernoulli_leaf,
+)
+from repro.pc.flows import node_flows
+from repro.pc.inference import Evidence, _evaluate_all, log_likelihood
+
+
+def em_step(circuit: Circuit, dataset: Sequence[Evidence], smoothing: float = 0.1) -> Circuit:
+    """One EM iteration, updating sum weights and leaf tables in place.
+
+    Expected counts come from top-down flows; ``smoothing`` is a
+    Laplace-style pseudo-count that keeps probabilities strictly
+    positive.
+    """
+    sum_counts: Dict[int, np.ndarray] = {}
+    leaf_counts: Dict[int, np.ndarray] = {}
+    nodes = circuit.topological_order()
+    for node in nodes:
+        if isinstance(node, SumNode):
+            sum_counts[node.node_id] = np.zeros(len(node.children))
+        elif isinstance(node, LeafNode):
+            leaf_counts[node.node_id] = np.zeros(len(node.probabilities))
+
+    for evidence in dataset:
+        values = _evaluate_all(circuit, evidence)
+        flows = node_flows(circuit, evidence)
+        for node in nodes:
+            if isinstance(node, SumNode):
+                parent_value = values[node.node_id]
+                if parent_value <= 0:
+                    continue
+                flow = flows[node.node_id]
+                for idx, (child, weight) in enumerate(zip(node.children, node.weights)):
+                    share = weight * values[child.node_id] / parent_value
+                    sum_counts[node.node_id][idx] += share * flow
+            elif isinstance(node, LeafNode):
+                value = evidence.get(node.variable)
+                if value is not None:
+                    leaf_counts[node.node_id][value] += flows[node.node_id]
+
+    for node in nodes:
+        if isinstance(node, SumNode):
+            counts = sum_counts[node.node_id] + smoothing
+            node.weights = counts / counts.sum()
+        elif isinstance(node, LeafNode):
+            counts = leaf_counts[node.node_id] + smoothing
+            node.probabilities = counts / counts.sum()
+    return circuit
+
+
+def fit_em(
+    circuit: Circuit,
+    dataset: Sequence[Evidence],
+    iterations: int = 10,
+    smoothing: float = 0.1,
+    tolerance: float = 1e-6,
+) -> Tuple[Circuit, List[float]]:
+    """Run EM to convergence; returns the circuit and the LL trajectory."""
+    history: List[float] = []
+    for _ in range(iterations):
+        em_step(circuit, dataset, smoothing)
+        total = sum(log_likelihood(circuit, evidence) for evidence in dataset)
+        history.append(total / max(len(dataset), 1))
+        if len(history) >= 2 and abs(history[-1] - history[-2]) < tolerance:
+            break
+    return circuit, history
+
+
+def random_circuit(
+    num_vars: int,
+    depth: int = 3,
+    sum_children: int = 3,
+    seed: Optional[int] = None,
+) -> Circuit:
+    """Random smooth & decomposable circuit over binary variables.
+
+    Recursively splits the variable scope at product nodes and mixes
+    ``sum_children`` alternative decompositions at sum nodes — the
+    region-graph style structure used by learned PCs.
+    """
+    rng = _random.Random(seed)
+
+    def build(scope: List[int], level: int) -> CircuitNode:
+        if len(scope) == 1:
+            return bernoulli_leaf(scope[0], rng.uniform(0.1, 0.9))
+        if level <= 0:
+            # Fully factorize the remaining scope.
+            return ProductNode([build([v], 0) for v in scope])
+        mixtures: List[CircuitNode] = []
+        for _ in range(sum_children):
+            shuffled = scope[:]
+            rng.shuffle(shuffled)
+            cut = rng.randint(1, len(shuffled) - 1)
+            left = sorted(shuffled[:cut])
+            right = sorted(shuffled[cut:])
+            mixtures.append(
+                ProductNode([build(left, level - 1), build(right, level - 1)])
+            )
+        weights = [rng.uniform(0.2, 1.0) for _ in mixtures]
+        node = SumNode(mixtures, weights)
+        node.normalize()
+        return node
+
+    circuit = Circuit(build(list(range(num_vars)), depth))
+    circuit.validate()
+    return circuit
+
+
+def random_binary_tree_circuit(num_vars: int, seed: Optional[int] = None) -> Circuit:
+    """A balanced binary-tree-structured circuit (HCLT-like skeleton).
+
+    Every internal scope split is a sum over two product decompositions;
+    already in two-input form, so it maps directly onto REASON's tree
+    PEs without regularization.
+    """
+    rng = _random.Random(seed)
+
+    def build(scope: List[int]) -> CircuitNode:
+        if len(scope) == 1:
+            return bernoulli_leaf(scope[0], rng.uniform(0.1, 0.9))
+        mid = len(scope) // 2
+        left, right = scope[:mid], scope[mid:]
+        alternatives = [
+            ProductNode([build(left), build(right)]),
+            ProductNode([build(left), build(right)]),
+        ]
+        node = SumNode(alternatives, [rng.uniform(0.2, 1.0) for _ in alternatives])
+        node.normalize()
+        return node
+
+    circuit = Circuit(build(list(range(num_vars))))
+    circuit.validate()
+    return circuit
+
+
+def sample_dataset(
+    circuit: Circuit, size: int, seed: Optional[int] = None
+) -> List[Evidence]:
+    """Draw a dataset of full assignments from the circuit."""
+    from repro.pc.inference import sample
+
+    rng = _random.Random(seed)
+    return [sample(circuit, rng) for _ in range(size)]

@@ -1,0 +1,19 @@
+"""Workload characterization utilities (paper Sec. III).
+
+Computes the runtime splits, scalability curves and sparsity statistics
+of Fig. 3 from the workload models and device cost models.
+"""
+
+from repro.profiling.profiler import (
+    WorkloadProfile,
+    profile_workload,
+    runtime_breakdown,
+    sparsity_of_workload,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "profile_workload",
+    "runtime_breakdown",
+    "sparsity_of_workload",
+]

@@ -1,0 +1,343 @@
+"""Tests for the architecture model: Benes, interconnect, memory,
+BCP FIFO, watched literals, energy, and symbolic replay."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arch import (
+    ArchConfig,
+    BcpFifo,
+    BenesNetwork,
+    DEFAULT_CONFIG,
+    EnergyModel,
+    ReasonAccelerator,
+    TechNode,
+    Topology,
+    WatchedLiteralsUnit,
+    broadcast_cycles,
+    traversal_latency,
+)
+from repro.core.arch.config import dse_grid
+from repro.core.arch.energy import scale_to_node
+from repro.core.arch.interconnect import area_breakdown, scalability_series
+from repro.core.arch.memory import DmaEngine, Scratchpad, SramBanks
+from repro.logic.cdcl import CDCLSolver, SolveResult
+from repro.logic.cnf import CNF, Clause
+from repro.logic.generators import pigeonhole, planted_sat, random_ksat
+
+
+class TestConfig:
+    def test_default_matches_paper_fig10(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.num_pes == 12
+        assert cfg.tree_depth == 3
+        assert cfg.num_banks == 64
+        assert cfg.regs_per_bank == 32
+        assert cfg.sram_kib == 1280  # 1.25 MB
+        # 12 PEs with >= 80 nodes total (paper: 12 PEs / 80 nodes).
+        assert cfg.total_tree_nodes >= 80
+
+    def test_derived_quantities(self):
+        cfg = ArchConfig(tree_depth=3)
+        assert cfg.leaves_per_pe == 8
+        assert cfg.nodes_per_pe == 15
+        assert cfg.pipeline_stages == 4
+
+    def test_ablation_copies(self):
+        ablated = DEFAULT_CONFIG.with_ablation(pipelined_scheduling=False)
+        assert not ablated.pipelined_scheduling
+        assert DEFAULT_CONFIG.pipelined_scheduling  # original untouched
+
+    def test_dse_grid_size(self):
+        grid = dse_grid()
+        assert len(grid) == 3 * 4 * 3
+        assert any(c.tree_depth == 3 and c.num_banks == 64 and c.regs_per_bank == 32 for c in grid)
+
+
+class TestBenes:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(6)
+
+    def test_stage_and_switch_counts(self):
+        net = BenesNetwork(8)
+        assert net.num_stages == 5
+        assert net.num_switches == 20
+
+    def test_routes_all_permutations_n4(self):
+        net = BenesNetwork(4)
+        for perm in itertools.permutations(range(4)):
+            routing = net.route(perm)
+            assert routing.realized_permutation() == list(perm)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).route([0, 0, 1, 2])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_random_permutations_route_conflict_free(self, seed):
+        rng = random.Random(seed)
+        n = rng.choice([8, 16])
+        perm = list(range(n))
+        rng.shuffle(perm)
+        routing = BenesNetwork(n).route(perm)
+        assert routing.realized_permutation() == perm
+
+    def test_identity_crosses_no_switches_at_base(self):
+        net = BenesNetwork(2)
+        assert net.route([0, 1]).switches_crossed == 0
+        assert net.route([1, 0]).switches_crossed == 1
+
+
+class TestInterconnect:
+    def test_tree_is_logarithmic(self):
+        assert broadcast_cycles(Topology.TREE, 64) == pytest.approx(6.0)
+
+    def test_mesh_is_sqrt(self):
+        assert broadcast_cycles(Topology.MESH, 64) == pytest.approx((2 * 8 - 1) * 1.2)
+
+    def test_bus_is_linear(self):
+        assert broadcast_cycles(Topology.ALL_TO_ONE, 64) == pytest.approx(32.0)
+
+    def test_ordering_at_scale(self):
+        # Fig. 8(b): tree < mesh < all-to-one for large N.
+        for n in (32, 64, 128, 256):
+            tree = broadcast_cycles(Topology.TREE, n)
+            mesh = broadcast_cycles(Topology.MESH, n)
+            bus = broadcast_cycles(Topology.ALL_TO_ONE, n)
+            assert tree < mesh < bus
+
+    def test_scalability_series_shapes(self):
+        series = scalability_series(list(Topology), [8, 16, 24, 32])
+        assert set(series) == {"tree", "mesh", "all-to-one"}
+        assert all(len(v) == 4 for v in series.values())
+        # Monotone growth.
+        for values in series.values():
+            assert values == sorted(values)
+
+    def test_latency_breakdown_total_grows_with_leaves(self):
+        small = traversal_latency(Topology.TREE, 8)
+        large = traversal_latency(Topology.TREE, 64)
+        assert large.total > small.total
+
+    def test_area_breakdown_bus_buffers_dominate(self):
+        bus = area_breakdown(Topology.ALL_TO_ONE, 64)
+        assert bus["buffers"] > bus["wires"]
+
+
+class TestMemory:
+    def test_sram_dual_port_conflicts(self):
+        sram = SramBanks(DEFAULT_CONFIG)
+        sram.begin_cycle(0)
+        assert sram.read(0) == 0
+        assert sram.read(0) == 0
+        assert sram.read(0) == 1  # third access to same bank stalls
+        assert sram.stats.bank_conflicts == 1
+
+    def test_sram_distinct_banks_no_conflict(self):
+        sram = SramBanks(DEFAULT_CONFIG)
+        sram.begin_cycle(0)
+        assert sram.read(0) == 0
+        assert sram.read(1) == 0
+
+    def test_scratchpad_latency(self):
+        pad = Scratchpad(DEFAULT_CONFIG)
+        assert pad.access(4) == Scratchpad.LATENCY_CYCLES
+
+    def test_dma_latency_scales_with_words(self):
+        dma = DmaEngine(DEFAULT_CONFIG)
+        small = dma.issue(0, words=8)
+        large = dma.issue(0, words=8000)
+        assert large.finish_cycle > small.finish_cycle
+
+    def test_dma_exposure_hidden_by_late_need(self):
+        dma = DmaEngine(DEFAULT_CONFIG)
+        transfer = dma.issue(0, words=64)
+        assert dma.cycles_exposed(transfer, need_cycle=transfer.finish_cycle + 10) == 0
+        assert dma.cycles_exposed(transfer, need_cycle=0) > 0
+
+    def test_dma_cancel(self):
+        dma = DmaEngine(DEFAULT_CONFIG)
+        dma.issue(0, words=64)
+        assert dma.cancel_pending(1) == 1
+
+
+class TestBcpFifo:
+    def test_push_pop_order(self):
+        fifo = BcpFifo(4)
+        fifo.push(5)
+        fifo.push(-7)
+        assert fifo.pop()[0] == 5
+        assert fifo.pop()[0] == -7
+
+    def test_overflow_stalls(self):
+        fifo = BcpFifo(1)
+        assert fifo.push(1)
+        assert not fifo.push(2)
+        assert fifo.stats.overflow_stalls == 1
+
+    def test_flush_discards_all(self):
+        fifo = BcpFifo(8)
+        for lit in (1, 2, 3):
+            fifo.push(lit)
+        assert fifo.flush() == 3
+        assert fifo.is_empty
+        assert fifo.stats.entries_flushed == 3
+
+    def test_pop_empty_returns_none(self):
+        assert BcpFifo(2).pop() is None
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            BcpFifo(0)
+
+
+class TestWatchedLiterals:
+    def _formula(self):
+        return CNF([Clause([1, 2, 3]), Clause([-1, 2]), Clause([1, -3])])
+
+    def test_watch_lists_index_first_two_literals(self):
+        unit = WatchedLiteralsUnit(DEFAULT_CONFIG)
+        unit.load_formula(self._formula())
+        assert unit.watch_list_length(1) == 2  # clauses 0 and 2 watch lit 1
+        assert unit.watch_list_length(2) == 2  # clauses 0 and 1
+
+    def test_assignment_touches_only_watchers(self):
+        unit = WatchedLiteralsUnit(DEFAULT_CONFIG)
+        unit.load_formula(self._formula())
+        clauses, cycles = unit.on_assignment(1)
+        assert len(clauses) == 2
+        assert cycles >= 1 + len(clauses)
+        assert unit.stats.full_scans == 0
+
+    def test_flat_layout_ablation_scans_database(self):
+        config = DEFAULT_CONFIG.with_ablation(linked_list_layout=False)
+        unit = WatchedLiteralsUnit(config)
+        unit.load_formula(self._formula())
+        clauses, cycles = unit.on_assignment(1)
+        assert unit.stats.full_scans == 1
+        assert len(clauses) == 2  # same answer, worse cost
+
+    def test_linked_layout_cheaper_than_scan_on_large_db(self):
+        formula = random_ksat(60, 400, seed=1)
+        linked = WatchedLiteralsUnit(DEFAULT_CONFIG)
+        linked.load_formula(formula)
+        flat = WatchedLiteralsUnit(DEFAULT_CONFIG.with_ablation(linked_list_layout=False))
+        flat.load_formula(formula)
+        _, linked_cycles = linked.on_assignment(3)
+        _, flat_cycles = flat.on_assignment(3)
+        assert linked.stats.sram_words_touched < flat.stats.sram_words_touched
+
+    def test_nonresident_clauses_cost_dram_latency(self):
+        unit = WatchedLiteralsUnit(DEFAULT_CONFIG, resident_fraction=0.0)
+        unit.load_formula(self._formula())
+        _, cycles = unit.on_assignment(1)
+        assert cycles >= DEFAULT_CONFIG.dram_latency_cycles
+
+
+class TestEnergyModel:
+    def test_default_area_matches_paper(self):
+        model = EnergyModel()
+        assert model.area_mm2() == pytest.approx(6.0, rel=0.02)
+
+    def test_tech_scaling_matches_table3(self):
+        model = EnergyModel()
+        assert model.area_mm2(TechNode.NM12) == pytest.approx(1.37, rel=0.02)
+        assert model.area_mm2(TechNode.NM8) == pytest.approx(0.51, rel=0.02)
+        assert scale_to_node(2.12, TechNode.NM12, "energy") == pytest.approx(1.21, rel=0.02)
+        assert scale_to_node(2.12, TechNode.NM8, "energy") == pytest.approx(0.98, rel=0.02)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(KeyError):
+            EnergyModel().record("warp_drive")
+
+    def test_energy_accumulates(self):
+        model = EnergyModel()
+        model.record("alu_op", 100)
+        model.record("sram_access", 10)
+        assert model.total_energy_pj() == pytest.approx(100 * 0.9 + 10 * 5.0)
+
+    def test_power_includes_static_floor(self):
+        model = EnergyModel()
+        assert model.average_power_w(1000) > 0
+        assert model.static_power_w() == pytest.approx(0.3 * 2.12, rel=0.05)
+
+    def test_merge(self):
+        a, b = EnergyModel(), EnergyModel()
+        a.record("alu_op", 5)
+        b.record("alu_op", 7)
+        a.merge(b)
+        assert a.counts["alu_op"] == 12
+
+
+class TestSymbolicReplay:
+    def test_replay_counts_match_solver_stats(self):
+        formula = random_ksat(20, 80, seed=2)
+        accelerator = ReasonAccelerator()
+        trace, solver = accelerator.run_symbolic(formula)
+        assert trace.decisions == solver.stats.decisions
+        assert trace.implications == solver.stats.propagations
+        assert trace.conflicts == solver.stats.conflicts
+
+    def test_conflicts_flush_fifo(self):
+        formula = pigeonhole(4)
+        accelerator = ReasonAccelerator()
+        trace, _ = accelerator.run_symbolic(formula)
+        assert trace.conflicts > 0
+        assert trace.fifo_flushes == trace.conflicts
+
+    def test_events_recorded_when_requested(self):
+        formula = random_ksat(15, 60, seed=3)
+        accelerator = ReasonAccelerator()
+        trace, _ = accelerator.run_symbolic(formula, record_events=True)
+        assert trace.events
+        units = {e.unit for e in trace.events}
+        assert "broadcast" in units
+
+    def test_flat_layout_ablation_costs_more_cycles(self):
+        formula = random_ksat(40, 170, seed=4)
+        base = ReasonAccelerator(DEFAULT_CONFIG)
+        base_trace, _ = base.run_symbolic(formula, solver=CDCLSolver(record_trace=True))
+        flat = ReasonAccelerator(DEFAULT_CONFIG.with_ablation(linked_list_layout=False))
+        flat_trace, _ = flat.run_symbolic(formula, solver=CDCLSolver(record_trace=True))
+        assert flat_trace.cycles > base_trace.cycles
+
+    def test_replay_cycles_positive_and_scale(self):
+        small, _ = ReasonAccelerator().run_symbolic(random_ksat(10, 30, seed=5))
+        large, _ = ReasonAccelerator().run_symbolic(random_ksat(60, 250, seed=5))
+        assert 0 < small.cycles < large.cycles
+
+    def test_report_fields(self):
+        accelerator = ReasonAccelerator()
+        trace, _ = accelerator.run_symbolic(random_ksat(12, 40, seed=6))
+        report = accelerator.report(trace.cycles)
+        assert report["runtime_s"] > 0
+        assert report["area_mm2"] == pytest.approx(6.0, rel=0.02)
+
+
+class TestUnifiedVsDecoupled:
+    """The Sec. V-F design-choice claim: unified fabric ≈ 58% lower
+    area/power with >90% utilization vs decoupled engines."""
+
+    def test_area_saving_band(self):
+        from repro.core.arch.energy import unified_vs_decoupled
+
+        comparison = unified_vs_decoupled()
+        assert 0.45 <= comparison.area_saving <= 0.65
+
+    def test_utilization_gap(self):
+        from repro.core.arch.energy import unified_vs_decoupled
+
+        comparison = unified_vs_decoupled()
+        assert comparison.unified_utilization > 0.90
+        assert comparison.decoupled_utilization < 0.60
+
+    def test_scales_with_config(self):
+        from repro.core.arch.energy import unified_vs_decoupled
+
+        big = unified_vs_decoupled(ArchConfig(num_pes=24))
+        assert big.decoupled_area_mm2 > big.unified_area_mm2

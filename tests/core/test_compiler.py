@@ -1,0 +1,251 @@
+"""Tests for the four-step compiler: blocks, mapping, tree placement,
+scheduling — including functional equivalence against the reference
+DAG evaluator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.compiler import (
+    Block,
+    compile_dag,
+    decompose_blocks,
+    map_block_to_tree,
+    map_operands_to_banks,
+)
+from repro.core.compiler.blocks import block_dependencies, topological_block_order
+from repro.core.compiler.mapping import issue_conflicts
+from repro.core.compiler.program import InstructionKind
+from repro.core.dag import (
+    Dag,
+    OpType,
+    circuit_to_dag,
+    cnf_to_dag,
+    default_leaf_inputs,
+    evaluate_dag,
+    hmm_to_dag,
+    regularize_two_input,
+)
+from repro.hmm.model import HMM
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_binary_tree_circuit, random_circuit
+
+
+def chain_dag(length: int) -> Dag:
+    """A fully serial SUM chain (worst case for pipelining)."""
+    dag = Dag()
+    prev = dag.add_op(OpType.LEAF, payload=(0, (1.0,)))
+    for i in range(length):
+        leaf = dag.add_op(OpType.LEAF, payload=(i + 1, (1.0,)))
+        prev = dag.add_op(OpType.SUM, [prev, leaf], weights=[1.0, 1.0])
+    dag.set_root(prev)
+    return dag
+
+
+class TestBlockDecomposition:
+    def test_requires_two_input_dag(self):
+        dag, _ = cnf_to_dag(random_ksat(5, 10, seed=0))
+        with pytest.raises(ValueError):
+            decompose_blocks(dag, 3)
+
+    def test_blocks_cover_all_interior_nodes(self):
+        dag = regularize_two_input(cnf_to_dag(random_ksat(8, 20, seed=1))[0])
+        blocks = decompose_blocks(dag, 3)
+        covered = {n for b in blocks for n in b.nodes}
+        interior = {
+            i
+            for i in dag.topological_order()
+            if dag.node(i).op not in (OpType.LITERAL, OpType.LEAF, OpType.INPUT)
+        }
+        assert covered == interior
+
+    def test_depth_budget_respected(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(8, depth=3, seed=2))[0])
+        for max_depth in (1, 2, 3):
+            blocks = decompose_blocks(dag, max_depth)
+            assert all(b.depth <= max_depth for b in blocks)
+
+    def test_deeper_budget_makes_fewer_blocks(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(8, depth=3, seed=3))[0])
+        shallow = decompose_blocks(dag, 1)
+        deep = decompose_blocks(dag, 4)
+        assert len(deep) < len(shallow)
+
+    def test_chain_blocks_are_sequential(self):
+        dag = chain_dag(10)
+        blocks = decompose_blocks(dag, 3)
+        deps = block_dependencies(dag, blocks)
+        # A chain decomposition must form a path in the dependency graph.
+        assert sum(1 for d in deps.values() if d) >= len(blocks) - 1
+
+    def test_topological_block_order_respects_deps(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(7, depth=3, seed=4))[0])
+        blocks = decompose_blocks(dag, 2)
+        ordered = topological_block_order(dag, blocks)
+        position = {b.block_id: i for i, b in enumerate(ordered)}
+        deps = block_dependencies(dag, blocks)
+        for block in blocks:
+            for dep in deps[block.block_id]:
+                assert position[dep] < position[block.block_id]
+
+    def test_invalid_depth_rejected(self):
+        dag = chain_dag(3)
+        with pytest.raises(ValueError):
+            decompose_blocks(dag, 0)
+
+
+class TestBankMapping:
+    def test_coread_values_get_distinct_banks_when_possible(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(6, depth=2, seed=5))[0])
+        blocks = decompose_blocks(dag, 3)
+        assignment = map_operands_to_banks(dag, blocks, num_banks=64)
+        assert assignment.conflicts == 0
+        for block in blocks:
+            assert issue_conflicts(assignment, block) == 0
+
+    def test_few_banks_force_conflicts(self):
+        dag = regularize_two_input(cnf_to_dag(random_ksat(12, 40, seed=6))[0])
+        blocks = decompose_blocks(dag, 3)
+        assignment = map_operands_to_banks(dag, blocks, num_banks=1)
+        # With one bank, any block with 2+ inputs conflicts.
+        multi = [b for b in blocks if len(set(b.inputs)) >= 2]
+        if multi:
+            assert sum(issue_conflicts(assignment, b) for b in multi) > 0
+
+    def test_occupancy_is_balanced(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(8, depth=3, seed=7))[0])
+        blocks = decompose_blocks(dag, 3)
+        assignment = map_operands_to_banks(dag, blocks, num_banks=8)
+        occupancy = assignment.occupancy()
+        assert max(occupancy) - min(occupancy) <= max(2, len(assignment.bank_of) // 8)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError):
+            map_operands_to_banks(Dag(), [], 0)
+
+
+class TestTreePlacement:
+    def test_block_too_deep_rejected(self):
+        dag = chain_dag(10)
+        blocks = decompose_blocks(dag, 3)
+        deep = next(b for b in blocks if b.depth == 3)
+        with pytest.raises(ValueError):
+            map_block_to_tree(dag, deep, tree_depth=2)
+
+    def test_placement_configs_cover_block_ops(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(6, depth=2, seed=8))[0])
+        blocks = decompose_blocks(dag, 3)
+        for block in blocks:
+            placement = map_block_to_tree(dag, block, 3)
+            active = [c for c in placement.configs if not c.is_forward]
+            assert len(active) == block.num_ops
+
+    def test_utilization_between_zero_and_one(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(6, depth=3, seed=9))[0])
+        blocks = decompose_blocks(dag, 3)
+        for block in blocks:
+            placement = map_block_to_tree(dag, block, 3)
+            assert 0.0 < placement.utilization <= 1.0
+
+
+class TestScheduling:
+    def test_program_has_compute_per_block(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(7, depth=3, seed=10))[0])
+        program, stats = compile_dag(dag)
+        assert program.compute_count == stats.num_blocks
+
+    def test_dependent_chain_spaced_by_pipeline(self):
+        dag = chain_dag(12)
+        program, stats = compile_dag(dag)
+        computes = [i for i in program.instructions if i.is_compute]
+        # A serial chain cannot beat pipeline_stages per dependent block.
+        config = DEFAULT_CONFIG
+        assert stats.cycles >= (len(computes) - 1) * 1  # progress made
+        issue_cycles = [i.issue_cycle for i in computes]
+        assert issue_cycles == sorted(issue_cycles)
+
+    def test_unpipelined_ablation_is_slower(self):
+        dag = regularize_two_input(circuit_to_dag(random_circuit(8, depth=3, seed=11))[0])
+        _, fast = compile_dag(dag, DEFAULT_CONFIG)
+        _, slow = compile_dag(dag, DEFAULT_CONFIG.with_ablation(pipelined_scheduling=False))
+        assert slow.cycles >= fast.cycles
+
+    def test_register_pressure_triggers_spills(self):
+        tiny = ArchConfig(num_banks=2, regs_per_bank=2)
+        dag = regularize_two_input(circuit_to_dag(random_circuit(8, depth=3, seed=12))[0])
+        program, stats = compile_dag(dag, tiny)
+        assert stats.schedule.spills > 0
+
+    def test_compile_rejects_wide_dag_without_regularization(self):
+        dag, _ = cnf_to_dag(random_ksat(5, 10, seed=13))
+        with pytest.raises(ValueError):
+            compile_dag(dag, auto_regularize=False)
+
+
+class TestFunctionalEquivalence:
+    def _run(self, dag):
+        from repro.core.arch import ReasonAccelerator
+
+        regular = regularize_two_input(dag)
+        program, _ = compile_dag(regular)
+        inputs = default_leaf_inputs(regular)
+        report = ReasonAccelerator().run_program(program, inputs)
+        expected = evaluate_dag(regular, inputs)[regular.root]
+        return report.result, expected
+
+    def test_circuit_program_matches_evaluator(self):
+        for seed in range(4):
+            dag, _ = circuit_to_dag(random_circuit(6, depth=3, seed=seed))
+            result, expected = self._run(dag)
+            assert result == pytest.approx(expected)
+
+    def test_binary_tree_circuit_weights_survive(self):
+        dag, _ = circuit_to_dag(random_binary_tree_circuit(8, seed=20))
+        result, expected = self._run(dag)
+        assert result == pytest.approx(expected)
+        assert expected == pytest.approx(1.0)  # normalized circuit
+
+    def test_hmm_program_matches_forward(self):
+        from repro.hmm.inference import log_likelihood
+
+        hmm = HMM.random(3, 4, seed=21)
+        observations = [0, 2, 1, 3]
+        dag = hmm_to_dag(hmm, observations)
+        result, expected = self._run(dag)
+        assert result == pytest.approx(expected)
+        assert math.log(result) == pytest.approx(log_likelihood(hmm, observations))
+
+    def test_logic_program_matches_evaluator(self):
+        formula = random_ksat(6, 15, seed=22)
+        dag, _ = cnf_to_dag(formula)
+        regular = regularize_two_input(dag)
+        program, _ = compile_dag(regular)
+        from repro.core.arch import ReasonAccelerator
+
+        assignment = {v: (v % 2 == 0) for v in range(1, 7)}
+        inputs = default_leaf_inputs(regular, literal_values=assignment)
+        report = ReasonAccelerator().run_program(program, inputs)
+        expected = evaluate_dag(regular, inputs)[regular.root]
+        assert report.result == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_program_equals_evaluator(self, seed):
+        dag, _ = circuit_to_dag(random_circuit(5, depth=2, seed=seed))
+        result, expected = self._run(dag)
+        assert result == pytest.approx(expected)
+
+    def test_smaller_tree_depth_still_correct(self):
+        dag, _ = circuit_to_dag(random_circuit(6, depth=3, seed=23))
+        regular = regularize_two_input(dag)
+        from repro.core.arch import ReasonAccelerator
+
+        for depth in (1, 2, 4):
+            config = ArchConfig(tree_depth=depth)
+            program, _ = compile_dag(regular, config)
+            inputs = default_leaf_inputs(regular)
+            report = ReasonAccelerator(config).run_program(program, inputs)
+            expected = evaluate_dag(regular, inputs)[regular.root]
+            assert report.result == pytest.approx(expected)

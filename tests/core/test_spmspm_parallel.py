@@ -1,0 +1,115 @@
+"""Tests for the SpMSpM execution mode and parallel cube-and-conquer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.spmspm import CsrMatrix, SpmspmEngine
+from repro.logic.cdcl import CDCLSolver
+from repro.logic.generators import pigeonhole, planted_sat, random_ksat
+
+
+class TestCsrMatrix:
+    def test_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 3.0]])
+        assert np.array_equal(CsrMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_nnz(self):
+        dense = np.array([[1.0, 0.0], [0.0, 4.0]])
+        assert CsrMatrix.from_dense(dense).nnz == 2
+
+    def test_row_access(self):
+        matrix = CsrMatrix.from_dense(np.array([[0.0, 5.0], [1.0, 0.0]]))
+        assert matrix.row(0) == [(1, 5.0)]
+
+    def test_random_density(self):
+        matrix = CsrMatrix.random(20, 20, density=0.25, seed=0)
+        assert 0 < matrix.nnz < 400
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_property(self, seed):
+        matrix = CsrMatrix.random(6, 7, density=0.3, seed=seed)
+        assert np.allclose(CsrMatrix.from_dense(matrix.to_dense()).to_dense(), matrix.to_dense())
+
+
+class TestSpmspmEngine:
+    def test_matches_dense_multiply(self):
+        a = CsrMatrix.random(9, 7, density=0.35, seed=1)
+        b = CsrMatrix.random(7, 11, density=0.35, seed=2)
+        c, _ = SpmspmEngine().multiply(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_shape_mismatch_rejected(self):
+        a = CsrMatrix.random(3, 4, seed=3)
+        b = CsrMatrix.random(5, 3, seed=4)
+        with pytest.raises(ValueError):
+            SpmspmEngine().multiply(a, b)
+
+    def test_cycles_scale_with_work(self):
+        engine = SpmspmEngine()
+        small_a = CsrMatrix.random(4, 4, density=0.3, seed=5)
+        small_b = CsrMatrix.random(4, 4, density=0.3, seed=6)
+        big_a = CsrMatrix.random(30, 30, density=0.4, seed=7)
+        big_b = CsrMatrix.random(30, 30, density=0.4, seed=8)
+        _, small = engine.multiply(small_a, small_b)
+        _, big = engine.multiply(big_a, big_b)
+        assert big.cycles > small.cycles
+
+    def test_sparse_beats_dense_flops(self):
+        a = CsrMatrix.random(20, 20, density=0.1, seed=9)
+        b = CsrMatrix.random(20, 20, density=0.1, seed=10)
+        engine = SpmspmEngine()
+        _, report = engine.multiply(a, b)
+        assert 2 * report.multiplies < engine.dense_equivalent_flops(a, b)
+
+    def test_empty_matrices(self):
+        a = CsrMatrix.from_dense(np.zeros((3, 3)))
+        b = CsrMatrix.from_dense(np.zeros((3, 3)))
+        c, report = SpmspmEngine().multiply(a, b)
+        assert c.nnz == 0
+        assert report.multiplies == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_correctness_property(self, seed):
+        a = CsrMatrix.random(5, 6, density=0.4, seed=seed)
+        b = CsrMatrix.random(6, 4, density=0.4, seed=seed + 1)
+        c, _ = SpmspmEngine().multiply(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+
+class TestParallelCubeAndConquer:
+    def test_makespan_below_serial_sum(self):
+        accelerator = ReasonAccelerator()
+        aggregate, per_cube = accelerator.run_symbolic_parallel(pigeonhole(4), cutoff_depth=3)
+        assert len(per_cube) > 1
+        assert aggregate.cycles < sum(t.cycles for t in per_cube)
+
+    def test_aggregate_counts_sum_cubes(self):
+        accelerator = ReasonAccelerator()
+        aggregate, per_cube = accelerator.run_symbolic_parallel(
+            random_ksat(16, 60, seed=3), cutoff_depth=2
+        )
+        assert aggregate.conflicts == sum(t.conflicts for t in per_cube)
+        assert aggregate.implications == sum(t.implications for t in per_cube)
+
+    def test_single_pe_config_serializes(self):
+        single = ArchConfig(num_pes=1)
+        accelerator = ReasonAccelerator(single)
+        aggregate, per_cube = accelerator.run_symbolic_parallel(pigeonhole(3), cutoff_depth=2)
+        assert aggregate.cycles == sum(t.cycles for t in per_cube)
+
+    def test_satisfiable_formula_handles_cubes(self):
+        formula, _ = planted_sat(20, 70, seed=4)
+        aggregate, per_cube = ReasonAccelerator().run_symbolic_parallel(formula, cutoff_depth=2)
+        assert aggregate.cycles > 0
+
+    def test_replay_requires_recorded_trace(self):
+        accelerator = ReasonAccelerator()
+        solver = CDCLSolver(record_trace=False)
+        solver.solve(random_ksat(10, 30, seed=5))
+        with pytest.raises(ValueError):
+            accelerator.run_symbolic_trace(random_ksat(10, 30, seed=5), solver)

@@ -1,0 +1,139 @@
+"""Tests for the CNF core representation."""
+
+import pytest
+
+from repro.logic.cnf import (
+    CNF,
+    Clause,
+    assignment_from_literals,
+    neg,
+    parse_dimacs,
+    to_dimacs,
+    var_of,
+)
+
+
+class TestLiteralHelpers:
+    def test_neg_flips_sign(self):
+        assert neg(3) == -3
+        assert neg(-7) == 7
+
+    def test_var_of_strips_sign(self):
+        assert var_of(5) == 5
+        assert var_of(-5) == 5
+
+
+class TestClause:
+    def test_deduplicates_literals(self):
+        assert len(Clause([1, 1, 2])) == 2
+
+    def test_normalized_order_makes_equal_clauses_equal(self):
+        assert Clause([2, -1]) == Clause([-1, 2])
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            Clause([0, 1])
+
+    def test_empty_clause(self):
+        clause = Clause([])
+        assert clause.is_empty
+        assert not clause.is_unit
+
+    def test_unit_clause(self):
+        assert Clause([4]).is_unit
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1]).is_tautology
+        assert not Clause([1, 2]).is_tautology
+
+    def test_variables(self):
+        assert Clause([1, -3]).variables() == frozenset({1, 3})
+
+    def test_without_removes_literal(self):
+        assert Clause([1, 2]).without(2) == Clause([1])
+
+    def test_evaluate_satisfied(self):
+        assert Clause([1, -2]).evaluate({2: False}) is True
+
+    def test_evaluate_falsified(self):
+        assert Clause([1, 2]).evaluate({1: False, 2: False}) is False
+
+    def test_evaluate_undecided(self):
+        assert Clause([1, 2]).evaluate({1: False}) is None
+
+
+class TestCNF:
+    def test_num_vars_tracks_highest_variable(self):
+        formula = CNF([Clause([1, -5])])
+        assert formula.num_vars == 5
+
+    def test_add_clause_accepts_iterables(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        assert len(formula) == 1
+        assert formula.num_vars == 2
+
+    def test_evaluate_full_assignment(self):
+        formula = CNF([Clause([1, 2]), Clause([-1, 3])])
+        assert formula.is_satisfied_by({1: True, 2: False, 3: True})
+        assert formula.evaluate({1: True, 2: False, 3: False}) is False
+
+    def test_evaluate_partial_assignment_is_none(self):
+        formula = CNF([Clause([1, 2])])
+        assert formula.evaluate({1: False}) is None
+
+    def test_simplify_drops_tautologies_and_duplicates(self):
+        formula = CNF([Clause([1, -1]), Clause([1, 2]), Clause([2, 1])])
+        assert len(formula.simplify()) == 1
+
+    def test_condition_removes_satisfied_clauses(self):
+        formula = CNF([Clause([1, 2]), Clause([-1, 3])])
+        conditioned = formula.condition(1)
+        assert len(conditioned) == 1
+        assert conditioned.clauses[0] == Clause([3])
+
+    def test_condition_can_produce_empty_clause(self):
+        formula = CNF([Clause([1])])
+        conditioned = formula.condition(-1)
+        assert conditioned.clauses[0].is_empty
+
+    def test_num_literals(self):
+        formula = CNF([Clause([1, 2]), Clause([3])])
+        assert formula.num_literals == 3
+
+    def test_copy_is_independent(self):
+        formula = CNF([Clause([1])])
+        clone = formula.copy()
+        clone.add_clause([2])
+        assert len(formula) == 1
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        formula = CNF([Clause([1, -2]), Clause([3])], num_vars=4)
+        parsed = parse_dimacs(to_dimacs(formula))
+        assert parsed.num_vars == 4
+        assert parsed.clauses == formula.clauses
+
+    def test_parse_skips_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        formula = parse_dimacs(text)
+        assert len(formula) == 1
+        assert formula.num_vars == 2
+
+    def test_parse_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        formula = parse_dimacs(text)
+        assert formula.clauses[0] == Clause([1, 2, 3])
+
+    def test_parse_rejects_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p foo 1 1\n1 0\n")
+
+    def test_serialize_includes_comment(self):
+        formula = CNF([Clause([1])])
+        assert to_dimacs(formula, comment="hello").startswith("c hello")
+
+
+def test_assignment_from_literals():
+    assert assignment_from_literals([1, -2, 3]) == {1: True, 2: False, 3: True}

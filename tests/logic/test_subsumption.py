@@ -1,0 +1,89 @@
+"""Tests for subsumption elimination and combined logic preprocessing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.cdcl import solve_cnf
+from repro.logic.cnf import CNF, Clause
+from repro.logic.generators import random_ksat, redundant_sat
+from repro.logic.subsumption import eliminate_subsumed, preprocess
+
+
+class TestSubsumption:
+    def test_subset_clause_removes_superset(self):
+        formula = CNF([Clause([1, 2]), Clause([1, 2, 3])])
+        out, report = eliminate_subsumed(formula)
+        assert report.clauses_subsumed == 1
+        assert len(out) == 1
+        assert out.clauses[0] == Clause([1, 2])
+
+    def test_duplicate_clauses_deduplicated(self):
+        formula = CNF([Clause([1, 2]), Clause([2, 1])])
+        out, report = eliminate_subsumed(formula)
+        assert len(out) == 1
+
+    def test_unit_clause_subsumes_everything_containing_it(self):
+        formula = CNF([Clause([3]), Clause([3, 1]), Clause([3, -2, 5])])
+        out, report = eliminate_subsumed(formula)
+        assert len(out) == 1
+        assert report.clauses_subsumed == 2
+
+    def test_self_subsuming_resolution_strengthens(self):
+        # D = (1 ∨ 2), C = (-1 ∨ 2 ∨ 3): resolving on 1 gives (2 ∨ 3)
+        # ⊂ C... strengthening removes -1 from C.
+        formula = CNF([Clause([1, 2]), Clause([-1, 2, 3])])
+        out, report = eliminate_subsumed(formula)
+        assert report.literals_strengthened >= 1
+        widths = sorted(len(c) for c in out.clauses)
+        assert widths == [2, 2]
+
+    def test_no_change_on_irredundant_formula(self):
+        formula = CNF([Clause([1, 2]), Clause([-1, 3]), Clause([-2, -3])])
+        out, report = eliminate_subsumed(formula)
+        assert not report.changed
+        assert len(out) == 3
+
+    def test_preserves_satisfiability_on_random(self):
+        for seed in range(6):
+            formula = random_ksat(10, 40, k=3, seed=seed)
+            out, _ = eliminate_subsumed(formula)
+            before, _ = solve_cnf(formula)
+            after, _ = solve_cnf(out)
+            assert before is after, seed
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_property(self, seed):
+        formula = random_ksat(7, 20, k=2, seed=seed)
+        out, _ = eliminate_subsumed(formula)
+        # Equivalence: every assignment satisfies both or neither.
+        import itertools
+
+        for values in itertools.product([False, True], repeat=7):
+            assignment = {v: values[v - 1] for v in range(1, 8)}
+            assert formula.is_satisfied_by(assignment) == out.is_satisfied_by(assignment)
+
+
+class TestCombinedPreprocess:
+    def test_preprocess_shrinks_redundant_instances(self):
+        formula, _ = redundant_sat(40, 160, redundancy=0.35, seed=1)
+        out, reports = preprocess(formula)
+        assert out.num_literals <= formula.num_literals
+        assert reports["subsumption"].rounds >= 1
+
+    def test_preprocess_equisatisfiable(self):
+        for seed in range(4):
+            formula, _ = redundant_sat(25, 95, seed=seed)
+            out, _ = preprocess(formula)
+            before, _ = solve_cnf(formula)
+            after, _ = solve_cnf(out)
+            assert before is after
+
+    def test_preprocess_on_unsat(self):
+        from repro.logic.generators import pigeonhole
+
+        out, _ = preprocess(pigeonhole(3))
+        result, _ = solve_cnf(out)
+        from repro.logic.cdcl import SolveResult
+
+        assert result is SolveResult.UNSAT

@@ -1,0 +1,211 @@
+"""Tests for probabilistic circuit structure and inference."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pc.circuit import (
+    Circuit,
+    LeafNode,
+    ProductNode,
+    SumNode,
+    bernoulli_leaf,
+    categorical_leaf,
+    indicator_leaf,
+)
+from repro.pc.inference import (
+    conditional,
+    expected_flops,
+    likelihood,
+    log_likelihood,
+    map_state,
+    marginal,
+    partition_function,
+    sample,
+)
+from repro.pc.learn import random_binary_tree_circuit, random_circuit
+
+
+def simple_mixture() -> Circuit:
+    """0.6 * [X0 ~ B(0.9)] + 0.4 * [X0 ~ B(0.2)]."""
+    node = SumNode([bernoulli_leaf(0, 0.9), bernoulli_leaf(0, 0.2)], [0.6, 0.4])
+    return Circuit(node)
+
+
+def two_var_product() -> Circuit:
+    """X0 ~ B(0.7) independent of X1 ~ B(0.3)."""
+    return Circuit(ProductNode([bernoulli_leaf(0, 0.7), bernoulli_leaf(1, 0.3)]))
+
+
+class TestNodes:
+    def test_leaf_rejects_negative_probs(self):
+        with pytest.raises(ValueError):
+            LeafNode(0, [-0.1, 1.1])
+
+    def test_leaf_marginalizes_on_none(self):
+        leaf = bernoulli_leaf(0, 0.3)
+        assert leaf.prob(None) == pytest.approx(1.0)
+
+    def test_leaf_out_of_range_value_is_zero(self):
+        assert bernoulli_leaf(0, 0.3).prob(5) == 0.0
+
+    def test_bernoulli_leaf_validates_range(self):
+        with pytest.raises(ValueError):
+            bernoulli_leaf(0, 1.5)
+
+    def test_categorical_normalizes(self):
+        leaf = categorical_leaf(0, [2.0, 2.0])
+        assert leaf.prob(0) == pytest.approx(0.5)
+
+    def test_indicator_leaf(self):
+        leaf = indicator_leaf(0, 1)
+        assert leaf.prob(1) == 1.0 and leaf.prob(0) == 0.0
+
+    def test_sum_requires_matching_weights(self):
+        with pytest.raises(ValueError):
+            SumNode([bernoulli_leaf(0, 0.5)], [0.5, 0.5])
+
+    def test_sum_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            SumNode([bernoulli_leaf(0, 0.5)], [-1.0])
+
+    def test_product_requires_children(self):
+        with pytest.raises(ValueError):
+            ProductNode([])
+
+    def test_scopes(self):
+        circuit = two_var_product()
+        assert circuit.root.scope() == frozenset({0, 1})
+
+
+class TestStructure:
+    def test_smoothness_detected(self):
+        smooth = simple_mixture()
+        assert smooth.is_smooth()
+        non_smooth = Circuit(
+            SumNode([bernoulli_leaf(0, 0.5), bernoulli_leaf(1, 0.5)], [0.5, 0.5])
+        )
+        assert not non_smooth.is_smooth()
+
+    def test_decomposability_detected(self):
+        ok = two_var_product()
+        assert ok.is_decomposable()
+        bad = Circuit(ProductNode([bernoulli_leaf(0, 0.5), bernoulli_leaf(0, 0.5)]))
+        assert not bad.is_decomposable()
+
+    def test_validate_raises_on_bad_structure(self):
+        bad = Circuit(ProductNode([bernoulli_leaf(0, 0.5), bernoulli_leaf(0, 0.5)]))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_topological_order_children_first(self):
+        circuit = simple_mixture()
+        order = circuit.topological_order()
+        positions = {node.node_id: i for i, node in enumerate(order)}
+        for node in order:
+            for child in node.children:
+                assert positions[child.node_id] < positions[node.node_id]
+
+    def test_counts(self):
+        circuit = simple_mixture()
+        assert circuit.num_nodes == 3
+        assert circuit.num_edges == 2
+        assert circuit.num_parameters == 2 + 2 + 2
+
+    def test_max_depth_and_fan_in(self):
+        circuit = random_circuit(6, depth=2, seed=0)
+        assert circuit.max_depth() >= 2
+        assert circuit.max_fan_in() >= 2
+
+    def test_determinism_check(self):
+        det = Circuit(
+            SumNode([indicator_leaf(0, 0), indicator_leaf(0, 1)], [0.5, 0.5])
+        )
+        assert det.is_deterministic()
+        assert not simple_mixture().is_deterministic()
+
+
+class TestInference:
+    def test_mixture_likelihood(self):
+        circuit = simple_mixture()
+        # P(X0=1) = 0.6*0.9 + 0.4*0.2 = 0.62
+        assert likelihood(circuit, {0: 1}) == pytest.approx(0.62)
+
+    def test_product_factorizes(self):
+        circuit = two_var_product()
+        assert likelihood(circuit, {0: 1, 1: 1}) == pytest.approx(0.7 * 0.3)
+
+    def test_partition_function_of_normalized_circuit(self):
+        assert partition_function(simple_mixture()) == pytest.approx(1.0)
+
+    def test_marginalization_sums_out_missing_vars(self):
+        circuit = two_var_product()
+        assert likelihood(circuit, {0: 1}) == pytest.approx(0.7)
+
+    def test_marginal_equals_brute_force(self):
+        circuit = random_circuit(5, depth=2, seed=3)
+        variables = sorted(circuit.variables())
+        total = sum(
+            likelihood(circuit, dict(zip(variables, values)))
+            for values in itertools.product([0, 1], repeat=len(variables))
+        )
+        assert total == pytest.approx(partition_function(circuit))
+
+    def test_conditional_consistency(self):
+        circuit = two_var_product()
+        # Independent variables: conditioning is a no-op.
+        assert conditional(circuit, {0: 1}, {1: 0}) == pytest.approx(0.7)
+
+    def test_conditional_contradiction_is_zero(self):
+        circuit = two_var_product()
+        assert conditional(circuit, {0: 1}, {0: 0}) == 0.0
+
+    def test_conditional_zero_evidence_raises(self):
+        circuit = Circuit(
+            ProductNode([indicator_leaf(0, 1), bernoulli_leaf(1, 0.5)])
+        )
+        with pytest.raises(ValueError):
+            conditional(circuit, {1: 1}, {0: 0})
+
+    def test_log_likelihood_of_impossible_evidence(self):
+        circuit = Circuit(indicator_leaf(0, 1))
+        assert log_likelihood(circuit, {0: 0}) == float("-inf")
+
+    def test_map_state_respects_evidence(self):
+        circuit = two_var_product()
+        assignment, _ = map_state(circuit, {0: 0})
+        assert assignment[0] == 0
+        assert assignment[1] == 0  # B(0.3) favors 0
+
+    def test_map_state_value_matches_likelihood(self):
+        circuit = two_var_product()
+        assignment, value = map_state(circuit)
+        assert likelihood(circuit, assignment) == pytest.approx(value)
+
+    def test_sample_matches_marginals(self):
+        import random
+
+        circuit = simple_mixture()
+        rng = random.Random(0)
+        draws = [sample(circuit, rng)[0] for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.62, abs=0.03)
+
+    def test_expected_flops_positive(self):
+        assert expected_flops(simple_mixture()) > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_circuits_are_normalized(self, seed):
+        circuit = random_circuit(4, depth=2, seed=seed)
+        assert partition_function(circuit) == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1000))
+    def test_binary_tree_circuit_structure(self, num_vars, seed):
+        circuit = random_binary_tree_circuit(num_vars, seed=seed)
+        assert circuit.max_fan_in() <= 2
+        assert circuit.is_smooth() and circuit.is_decomposable()
+        assert partition_function(circuit) == pytest.approx(1.0)

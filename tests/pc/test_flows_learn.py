@@ -1,0 +1,173 @@
+"""Tests for circuit flows, EM learning and CNF compilation / WMC."""
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.cnf import CNF, Clause
+from repro.logic.generators import random_ksat
+from repro.logic.cdcl import SolveResult, solve_cnf
+from repro.pc.circuit import Circuit, ProductNode, SumNode, bernoulli_leaf
+from repro.pc.compile_logic import compile_cnf_to_circuit, model_count, weighted_model_count
+from repro.pc.flows import (
+    dataset_edge_flows,
+    edge_flows,
+    flow_pruning_bound,
+    node_flows,
+)
+from repro.pc.inference import likelihood, log_likelihood, partition_function, sample
+from repro.pc.learn import em_step, fit_em, random_circuit, sample_dataset
+
+
+def brute_force_count(formula: CNF) -> int:
+    variables = sorted(formula.variables())
+    count = 0
+    for values in itertools.product([False, True], repeat=len(variables)):
+        if formula.is_satisfied_by(dict(zip(variables, values))):
+            count += 1
+    return count
+
+
+class TestFlows:
+    def test_root_flow_is_one(self):
+        circuit = random_circuit(4, depth=2, seed=1)
+        flows = node_flows(circuit, {0: 1})
+        assert flows[circuit.root.node_id] == 1.0
+
+    def test_sum_edge_flows_sum_to_parent_flow(self):
+        circuit = random_circuit(4, depth=2, seed=2)
+        evidence = {0: 1, 1: 0, 2: 1, 3: 0}
+        per_edge = edge_flows(circuit, evidence)
+        flows = node_flows(circuit, evidence)
+        from repro.pc.circuit import SumNode as SN
+
+        for node in circuit.topological_order():
+            if isinstance(node, SN):
+                outgoing = sum(
+                    per_edge[(node.node_id, c.node_id)] for c in node.children
+                )
+                assert outgoing == pytest.approx(flows[node.node_id], abs=1e-9)
+
+    def test_flows_nonnegative(self):
+        circuit = random_circuit(5, depth=2, seed=3)
+        flows = edge_flows(circuit, {0: 1, 2: 0})
+        assert all(value >= -1e-12 for value in flows.values())
+
+    def test_dataset_flows_accumulate(self):
+        circuit = random_circuit(4, depth=2, seed=4)
+        data = [{0: 1}, {1: 0}, {2: 1}]
+        totals, count = dataset_edge_flows(circuit, data)
+        assert count == 3
+        assert totals
+
+    def test_pruning_bound(self):
+        assert flow_pruning_bound(2.0, 4) == 0.5
+        with pytest.raises(ValueError):
+            flow_pruning_bound(1.0, 0)
+
+    def test_zero_probability_input_gives_zero_flows(self):
+        from repro.pc.circuit import indicator_leaf
+
+        circuit = Circuit(
+            SumNode(
+                [indicator_leaf(0, 0), indicator_leaf(0, 1)],
+                [1.0, 0.0],
+            )
+        )
+        per_edge = edge_flows(circuit, {0: 1})
+        assert all(v == 0.0 for v in per_edge.values())
+
+
+class TestEM:
+    def test_em_increases_log_likelihood(self):
+        teacher = random_circuit(5, depth=2, seed=10)
+        data = sample_dataset(teacher, 200, seed=11)
+        student = random_circuit(5, depth=2, seed=12)
+        before = np.mean([log_likelihood(student, x) for x in data])
+        student, history = fit_em(student, data, iterations=8)
+        assert history[-1] >= before - 1e-9
+
+    def test_em_trajectory_monotone(self):
+        teacher = random_circuit(4, depth=2, seed=20)
+        data = sample_dataset(teacher, 100, seed=21)
+        student = random_circuit(4, depth=2, seed=22)
+        _, history = fit_em(student, data, iterations=6, smoothing=0.01)
+        for earlier, later in zip(history, history[1:]):
+            assert later >= earlier - 1e-6
+
+    def test_em_keeps_circuit_normalized(self):
+        circuit = random_circuit(4, depth=2, seed=30)
+        data = sample_dataset(circuit, 50, seed=31)
+        em_step(circuit, data)
+        assert partition_function(circuit) == pytest.approx(1.0)
+
+    def test_em_recovers_biased_leaf(self):
+        # Single Bernoulli: EM should match the empirical frequency.
+        circuit = Circuit(bernoulli_leaf(0, 0.5))
+        data = [{0: 1}] * 80 + [{0: 0}] * 20
+        fit_em(circuit, data, iterations=3, smoothing=1e-6)
+        assert likelihood(circuit, {0: 1}) == pytest.approx(0.8, abs=0.01)
+
+
+class TestCompileLogic:
+    def test_unit_clause(self):
+        formula = CNF([Clause([1])])
+        circuit = compile_cnf_to_circuit(formula)
+        assert likelihood(circuit, {0: 1}) == pytest.approx(1.0)
+        assert likelihood(circuit, {0: 0}) == pytest.approx(0.0)
+
+    def test_model_count_simple(self):
+        # (x1 ∨ x2): 3 of 4 assignments.
+        assert model_count(CNF([Clause([1, 2])])) == 3
+
+    def test_model_count_unsat(self):
+        assert model_count(CNF([Clause([1]), Clause([-1])])) == 0
+
+    def test_compiled_circuit_is_valid_and_deterministic(self):
+        formula = CNF([Clause([1, 2]), Clause([-1, 3])])
+        circuit = compile_cnf_to_circuit(formula)
+        circuit.validate()
+        assert circuit.is_deterministic()
+
+    def test_circuit_agrees_with_formula_pointwise(self):
+        formula = random_ksat(5, 10, seed=40)
+        circuit = compile_cnf_to_circuit(formula)
+        variables = sorted(formula.variables())
+        for values in itertools.product([0, 1], repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            expected = 1.0 if formula.is_satisfied_by({v: bool(x) for v, x in assignment.items()}) else 0.0
+            evidence = {v - 1: x for v, x in assignment.items()}
+            assert likelihood(circuit, evidence) == pytest.approx(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_model_count_matches_brute_force(self, seed):
+        formula = random_ksat(6, 12, seed=seed)
+        assert model_count(formula) == brute_force_count(formula)
+
+    def test_weighted_model_count(self):
+        # (x1): weight of models where x1 true = p1, over x2 free: p1*(p2 + 1-p2).
+        formula = CNF([Clause([1])], num_vars=2)
+        formula.add_clause([2, -2])  # mention x2 tautologically
+        simplified = CNF([Clause([1]), Clause([2, -2])])
+        wmc = weighted_model_count(CNF([Clause([1, 2]),]), weights={1: 0.5, 2: 0.5})
+        # Models of (x1 ∨ x2): TT, TF, FT → 0.25 * 3.
+        assert wmc == pytest.approx(0.75)
+
+    def test_wmc_unsat_is_zero(self):
+        assert weighted_model_count(CNF([Clause([1]), Clause([-1])]), weights={1: 0.3}) == pytest.approx(0.0)
+
+    def test_compilation_rejects_huge_formulas(self):
+        formula = CNF([Clause([v]) for v in range(1, 40)])
+        with pytest.raises(ValueError):
+            compile_cnf_to_circuit(formula)
+
+    def test_model_count_of_empty_clause_set(self):
+        # No constraints over declared variables → every assignment models.
+        formula = CNF([Clause([1, -1])])  # tautology only
+        count = model_count(formula)
+        assert count == 2
