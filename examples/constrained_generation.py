@@ -10,7 +10,7 @@ Run:  python examples/constrained_generation.py
 
 import random
 
-from repro.core.system.runner import time_kernel_on_reason
+from repro import ReasonSession
 from repro.hmm.constrained import DFAConstraint, constrained_decode
 from repro.workloads.gelato import GeLaToWorkload, bleu2
 
@@ -36,8 +36,9 @@ def main() -> None:
         )
 
     # Time the HMM kernel on REASON (unroll → prune → compile → run).
+    session = ReasonSession()
     calibration = workload.calibration_sequences(instance)
-    timing = time_kernel_on_reason(hmm, calibration=calibration)
+    timing = session.run(hmm, calibration=calibration)
     print(
         f"REASON HMM step: {timing.cycles} cycles = {timing.seconds * 1e6:.2f} us, "
         f"energy {timing.energy_j * 1e9:.1f} nJ"

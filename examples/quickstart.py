@@ -1,67 +1,58 @@
-"""Quickstart: the full REASON flow on one symbolic kernel.
+"""Quickstart: the full REASON flow through the `ReasonSession` API.
 
-Build a SAT instance, run the Stage 1-3 algorithm optimizations
-(unified DAG → adaptive pruning → two-input regularization), compile
-the DAG for the tree-PE array, execute on the accelerator model, and
-compare against the software CDCL solver and GPU/CPU cost models.
+One session is the front door to the whole stack: build a SAT instance,
+call ``session.run(kernel)`` — the kernel adapter runs the Stage 1-3
+algorithm optimizations (unified DAG → adaptive pruning → two-input
+regularization), compiles for the tree-PE array, and executes on the
+accelerator model — then cross-check the same kernel on the software
+CDCL reference and the GPU/CPU/roofline cost models, and replay it from
+the compile cache.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.baselines.device import KernelClass, KernelProfile, ORIN_NX, RTX_A6000
-from repro.core.arch import ReasonAccelerator
-from repro.core.arch.config import DEFAULT_CONFIG
-from repro.core.dag import cnf_to_dag, optimize
-from repro.core.compiler import compile_dag
-from repro.logic.cdcl import solve_cnf
+from repro import ReasonSession
 from repro.logic.generators import redundant_sat
 
 
 def main() -> None:
+    session = ReasonSession()
+
     # 1. A logic kernel: planted-SAT with prunable redundancy.
     formula, plant = redundant_sat(num_vars=60, num_clauses=240, redundancy=0.3, seed=7)
     print(f"formula: {formula.num_vars} vars, {len(formula.clauses)} clauses")
 
-    # 2. Functional ground truth from the software solver.
-    result, model = solve_cnf(formula)
-    print(f"software CDCL says: {result.value}")
-    assert model is not None and formula.is_satisfied_by(model)
-
-    # 3. Algorithm optimizations (Sec. IV): prune + regularize.
-    optimized = optimize(formula)
+    # 2. One call: optimize -> compile -> execute on the accelerator model.
+    report = session.run(formula, backend="reason")
     print(
-        f"adaptive pruning: {optimized.memory_before} -> {optimized.memory_after} words "
-        f"({optimized.memory_reduction:.0%} saved)"
+        f"REASON: SAT={report.result == 1.0}, {report.cycles} cycles = "
+        f"{report.seconds * 1e6:.1f} us ({report.extras['decisions']} decisions, "
+        f"{report.extras['implications']} implications, "
+        f"{report.extras['conflicts']} conflicts; compile {report.compile_s * 1e3:.1f} ms)"
     )
 
-    # 4. Compile the regularized DAG to a VLIW program (Sec. V-C).
-    program, stats = compile_dag(optimized.dag, DEFAULT_CONFIG)
+    # 3. The offline front end's memory savings (Sec. IV, Table IV).
+    artifact = session.compile(formula)
+    optimization = artifact.optimization
     print(
-        f"compiled: {stats.num_blocks} blocks, {stats.cycles} scheduled cycles, "
-        f"{program.nop_count} hazard NOPs"
+        f"adaptive pruning: {optimization.memory_before} -> {optimization.memory_after} "
+        f"words ({optimization.memory_reduction:.0%} saved)"
     )
 
-    # 5. Execute the symbolic kernel on the accelerator model (Sec. V-D).
-    accelerator = ReasonAccelerator(DEFAULT_CONFIG)
-    trace, solver = accelerator.run_symbolic(optimized.pruned_model)
-    reason_s = trace.cycles * DEFAULT_CONFIG.cycle_time_s
-    print(
-        f"REASON replay: {trace.cycles} cycles = {reason_s * 1e6:.1f} us "
-        f"({trace.decisions} decisions, {trace.implications} implications, "
-        f"{trace.conflicts} conflicts)"
-    )
+    # 4. Cross-check the same kernel on every other registered backend.
+    for name in ("software", "gpu", "cpu", "roofline"):
+        other = session.run(formula, backend=name)
+        agree = "" if other.result is None else f"  (SAT agrees: {other.result == report.result})"
+        print(
+            f"{name:9s}: {other.seconds * 1e6:10.1f} us  "
+            f"({other.seconds / report.seconds:8.1f}x REASON){agree}"
+        )
 
-    # 6. The same kernel on GPU/CPU cost models.
-    ops = solver.stats.clause_fetches
-    profile = KernelProfile(KernelClass.LOGIC, flops=6.0 * ops, bytes_accessed=80.0 * ops, launches=4)
-    for device in (RTX_A6000, ORIN_NX):
-        device_s = device.kernel_time_s(profile)
-        print(f"{device.name:10s}: {device_s * 1e6:8.1f} us  ({device_s / reason_s:6.1f}x REASON)")
-
-    report = accelerator.report(trace.cycles)
+    # 5. The compile cache: every run above after the first was a hit.
+    stats = session.cache_stats
     print(
-        f"REASON chip: {report['area_mm2']:.2f} mm2, {report['power_w']:.2f} W "
-        f"(energy {report['energy_j'] * 1e6:.2f} uJ)"
+        f"compile cache: {stats.hits} hits / {stats.lookups} lookups "
+        f"({stats.hit_rate:.0%} hit rate, front end ran {session.prepare_calls}x)"
     )
 
 

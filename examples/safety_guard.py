@@ -8,9 +8,8 @@ accelerator model vs the GPU host.
 Run:  python examples/safety_guard.py
 """
 
-from repro.baselines.device import RTX_A6000
+from repro import ReasonSession
 from repro.core.dag.pruning import prune_circuit_by_flow
-from repro.core.system.runner import time_kernel_on_reason
 from repro.pc.inference import conditional
 from repro.pc.learn import sample_dataset
 from repro.workloads.r2guard import R2GuardWorkload, auprc
@@ -42,14 +41,19 @@ def main() -> None:
     pruned_auprc = auprc(pruned_scores, list(test.labels))
     print(f"guard AUPRC (pruned circuit):   {pruned_auprc:.3f}")
 
-    # 3. Per-query inference cost: REASON vs the host GPU.
-    timing = time_kernel_on_reason(circuit, calibration=calibration)
+    # 3. Per-query inference cost: REASON vs the GPU cost model, through
+    # the same session (the artifact compiles once and is cached).
+    session = ReasonSession()
+    timing = session.run(circuit, backend="reason", calibration=calibration)
     print(
         f"REASON per-query: {timing.cycles} cycles = {timing.seconds * 1e6:.2f} us, "
         f"utilization {timing.utilization:.0%}"
     )
-    gpu_s = RTX_A6000.run(workload.symbolic_profiles(instance)) / len(test.features)
-    print(f"GPU per-query:    {gpu_s * 1e6:.2f} us ({gpu_s / timing.seconds:.1f}x REASON)")
+    gpu = session.run(circuit, backend="gpu", calibration=calibration)
+    print(
+        f"GPU per-query:    {gpu.seconds * 1e6:.2f} us "
+        f"({gpu.seconds / timing.seconds:.1f}x REASON, cache hit: {gpu.cache_hit})"
+    )
 
 
 if __name__ == "__main__":

@@ -10,8 +10,7 @@ timeline (broadcast / reduction / FIFO / DMA / control).
 Run:  python examples/theorem_proving.py
 """
 
-from repro.core.arch import ReasonAccelerator
-from repro.core.arch.config import DEFAULT_CONFIG
+from repro import ReasonSession
 from repro.logic.fol.chase import ForwardChainer
 from repro.workloads.alphageometry import AlphaGeometryWorkload
 
@@ -42,16 +41,16 @@ def main() -> None:
         for fact, rule, body in chainer.explain(problem.goal)[:5]:
             print(f"  {fact!r}  by rule [{rule}]")
 
-    # 3. Replay the SAT certificate on the accelerator (Fig. 9).
+    # 3. Replay the SAT certificate on the accelerator (Fig. 9), with
+    # the cycle timeline requested through the session API.
     formula = workload.reason_kernel(instance)
-    accelerator = ReasonAccelerator(DEFAULT_CONFIG)
-    trace, _ = accelerator.run_symbolic(formula, record_events=True)
+    report = ReasonSession().run(formula, backend="reason", record_events=True)
     print(
-        f"\nREASON symbolic replay: {trace.cycles} cycles, "
-        f"{trace.decisions} decisions, {trace.conflicts} conflicts"
+        f"\nREASON symbolic replay: {report.cycles} cycles, "
+        f"{report.extras['decisions']} decisions, {report.extras['conflicts']} conflicts"
     )
     print("cycle timeline (first 12 events):")
-    for event in trace.events[:12]:
+    for event in report.extras["events"][:12]:
         print(f"  T{event.cycle:<6} {event.unit:<10} {event.description}")
 
 

@@ -18,7 +18,42 @@ Package map:
 * :mod:`repro.baselines` — device cost models, roofline, and kernel
   characterization;
 * :mod:`repro.profiling` — workload characterization (runtime splits,
-  sparsity).
+  sparsity);
+* :mod:`repro.api` — the public front door: :class:`ReasonSession`
+  over pluggable kernel adapters and execution backends, with compile
+  caching and pipelined batch execution.
+
+Quickstart::
+
+    from repro import ReasonSession
+
+    session = ReasonSession()
+    report = session.run(kernel)  # CNF | Circuit | HMM | Dag
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import (  # noqa: E402  (public re-exports)
+    Backend,
+    BatchResult,
+    CompiledArtifact,
+    ExecutionReport,
+    ReasonSession,
+    RunOptions,
+    list_backends,
+    register_adapter,
+    register_backend,
+)
+
+__all__ = [
+    "__version__",
+    "ReasonSession",
+    "Backend",
+    "ExecutionReport",
+    "BatchResult",
+    "CompiledArtifact",
+    "RunOptions",
+    "list_backends",
+    "register_adapter",
+    "register_backend",
+]

@@ -1,0 +1,54 @@
+"""Public API of the REASON reproduction: one session, any kernel, any
+backend.
+
+* :class:`ReasonSession` — facade over optimize → compile → execute
+  with a content-hash compile cache and pipelined batch execution;
+* :mod:`adapters` — the kernel-type registry (CNF, Circuit, HMM, Dag);
+* :mod:`backends` — the substrate registry (``reason``, ``software``,
+  ``gpu``, ``cpu``, ``roofline``) sharing one :class:`ExecutionReport`;
+* :mod:`cache` — the content-addressed compile cache.
+"""
+
+from repro.api.adapters import (
+    KernelAdapter,
+    RunOptions,
+    adapter_for,
+    register_adapter,
+    registered_adapters,
+)
+from repro.api.backends import (
+    Backend,
+    DeviceBackend,
+    ReasonBackend,
+    RooflineBackend,
+    SoftwareBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.api.cache import CacheStats, CompileCache, content_key
+from repro.api.session import ReasonSession
+from repro.api.types import BatchResult, CompiledArtifact, ExecutionReport
+
+__all__ = [
+    "ReasonSession",
+    "Backend",
+    "ExecutionReport",
+    "BatchResult",
+    "CompiledArtifact",
+    "KernelAdapter",
+    "RunOptions",
+    "adapter_for",
+    "register_adapter",
+    "registered_adapters",
+    "ReasonBackend",
+    "SoftwareBackend",
+    "DeviceBackend",
+    "RooflineBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "CompileCache",
+    "CacheStats",
+    "content_key",
+]

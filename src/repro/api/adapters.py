@@ -1,0 +1,334 @@
+"""Kernel adapters: one registry instead of scattered isinstance chains.
+
+An adapter knows how to take one kernel family — CNF formulas,
+probabilistic circuits, HMMs, or raw unified DAGs — through the offline
+front end (Stage 1-3 optimization, DAG→VLIW compilation, or CDCL solve
++ trace recording) and how to answer the family's canonical query with
+the software reference implementation.  The registry maps kernel types
+to adapters; :func:`adapter_for` is the single dispatch point every
+API entry goes through, and registering a new kernel family is one
+``register_adapter`` call away — no core edits required.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.api.cache import content_key
+from repro.api.types import CompiledArtifact
+from repro.baselines.device import KernelClass, KernelProfile
+from repro.core.arch.config import ArchConfig
+from repro.core.compiler import compile_dag
+from repro.core.dag import (
+    circuit_to_dag,
+    default_leaf_inputs,
+    evaluate_dag,
+    hmm_to_dag,
+    optimize,
+)
+from repro.core.dag.graph import Dag, OpType
+from repro.hmm.inference import log_likelihood as hmm_log_likelihood
+from repro.hmm.model import HMM
+from repro.logic.cdcl import CDCLSolver, SolveResult
+from repro.logic.cnf import CNF
+from repro.pc.circuit import Circuit, LeafNode, ProductNode, SumNode
+from repro.pc.inference import likelihood
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Per-request knobs that affect compilation (and thus the cache key).
+
+    ``calibration`` feeds the adaptive-pruning stage for probabilistic
+    kernels (evidence dicts for circuits, observation sequences for
+    HMMs); ``hmm_observations`` fixes the unroll sequence when no
+    calibration is given; ``record_events`` asks the REASON backend for
+    the Fig. 9-style cycle timeline in ``report.extras['events']``.
+    """
+
+    optimize: bool = True
+    keep_fraction: float = 0.8
+    calibration: Optional[Sequence] = None
+    hmm_observations: Optional[Sequence[int]] = None
+    record_events: bool = False
+
+    def calibration_key(self) -> object:
+        if self.calibration is None:
+            return None
+        canonical = []
+        for item in self.calibration:
+            if isinstance(item, dict):
+                canonical.append(tuple(sorted(item.items())))
+            else:
+                canonical.append(tuple(item))
+        return tuple(canonical)
+
+
+class KernelAdapter:
+    """Base adapter: fingerprint, compile, and software-reference a kernel."""
+
+    kind: str = ""
+
+    def fingerprint(self, kernel: object, options: RunOptions, config: ArchConfig) -> str:
+        return content_key(
+            self.kind,
+            self.kernel_key(kernel),
+            config,
+            options.optimize,
+            options.keep_fraction,
+            options.calibration_key(),
+            tuple(options.hmm_observations) if options.hmm_observations else None,
+        )
+
+    def kernel_key(self, kernel: object) -> object:
+        raise NotImplementedError
+
+    def prepare(self, kernel: object, options: RunOptions, config: ArchConfig) -> CompiledArtifact:
+        raise NotImplementedError
+
+    def reference(self, artifact: CompiledArtifact) -> Tuple[Optional[float], float]:
+        """Answer the canonical query in software; returns (result, wall_s)."""
+        raise NotImplementedError
+
+    # Shared path for every DAG-backed family (circuit / HMM / raw DAG):
+    # compile the DAG once and record a work profile for the analytic
+    # backends — this is the deduplication of the old runner branches.
+    def _compile_artifact(
+        self,
+        kernel: object,
+        options: RunOptions,
+        config: ArchConfig,
+        dag: Dag,
+        model: object,
+        optimization=None,
+        kernel_class: KernelClass = KernelClass.MARGINAL,
+    ) -> CompiledArtifact:
+        program, stats = compile_dag(dag, config)
+        flops = 2.0 * program.dag.num_edges
+        bytes_accessed = 4.0 * program.dag.memory_footprint()
+        profile = KernelProfile(
+            kernel_class, flops=max(flops, 1.0), bytes_accessed=max(bytes_accessed, 4.0)
+        )
+        return CompiledArtifact(
+            kind=self.kind,
+            key="",  # filled by the session with the cache-lookup key
+            kernel=kernel,
+            model=model,
+            dag=program.dag,
+            program=program,
+            compile_stats=stats,
+            optimization=optimization,
+            profile=profile,
+        )
+
+
+class CnfAdapter(KernelAdapter):
+    """SAT formulas: prune exactly, solve once, cache the CDCL trace."""
+
+    kind = "cnf"
+
+    def kernel_key(self, kernel: CNF) -> object:
+        return (kernel.num_vars, tuple(clause.literals for clause in kernel.clauses))
+
+    def prepare(self, kernel: CNF, options: RunOptions, config: ArchConfig) -> CompiledArtifact:
+        optimization = None
+        working = kernel
+        if options.optimize:
+            optimization = optimize(kernel)
+            working = optimization.pruned_model
+        solver = CDCLSolver(record_trace=True)
+        verdict, model = solver.solve(working)
+        ops = max(solver.stats.clause_fetches, 1)
+        profile = KernelProfile(
+            KernelClass.LOGIC, flops=6.0 * ops, bytes_accessed=80.0 * ops, launches=4
+        )
+        return CompiledArtifact(
+            kind=self.kind,
+            key="",  # filled by the session with the cache-lookup key
+            kernel=kernel,
+            model=working,
+            optimization=optimization,
+            solver=solver,
+            profile=profile,
+            extras={"verdict": verdict, "assignment": model},
+        )
+
+    def reference(self, artifact: CompiledArtifact) -> Tuple[Optional[float], float]:
+        start = time.perf_counter()
+        verdict, _ = CDCLSolver().solve(artifact.model)
+        elapsed = time.perf_counter() - start
+        return (1.0 if verdict is SolveResult.SAT else 0.0), elapsed
+
+
+class CircuitAdapter(KernelAdapter):
+    """Probabilistic circuits: flow-prune (with calibration) and compile."""
+
+    kind = "circuit"
+
+    def kernel_key(self, kernel: Circuit) -> object:
+        order = kernel.topological_order()
+        index = {id(node): i for i, node in enumerate(order)}
+        serial: List[object] = []
+        for node in order:
+            if isinstance(node, LeafNode):
+                serial.append(("leaf", node.variable, tuple(node.probabilities)))
+            elif isinstance(node, SumNode):
+                serial.append(
+                    (
+                        "sum",
+                        tuple(index[id(c)] for c in node.children),
+                        tuple(node.weights),
+                    )
+                )
+            elif isinstance(node, ProductNode):
+                serial.append(("product", tuple(index[id(c)] for c in node.children)))
+            else:  # pragma: no cover - defensive
+                serial.append((type(node).__name__, node.scope))
+        return tuple(serial)
+
+    def prepare(self, kernel: Circuit, options: RunOptions, config: ArchConfig) -> CompiledArtifact:
+        if options.optimize and options.calibration:
+            optimization = optimize(
+                kernel,
+                calibration=options.calibration,
+                keep_fraction=options.keep_fraction,
+            )
+            dag, model = optimization.dag, optimization.pruned_model
+        else:
+            optimization = None
+            dag, _ = circuit_to_dag(kernel)
+            model = kernel
+        return self._compile_artifact(
+            kernel, options, config, dag, model, optimization, KernelClass.MARGINAL
+        )
+
+    def reference(self, artifact: CompiledArtifact) -> Tuple[Optional[float], float]:
+        start = time.perf_counter()
+        value = likelihood(artifact.model, {})
+        return value, time.perf_counter() - start
+
+
+class HmmAdapter(KernelAdapter):
+    """HMMs: unroll over the observation sequence, prune by posterior."""
+
+    kind = "hmm"
+
+    def kernel_key(self, kernel: HMM) -> object:
+        return (
+            kernel.initial.tobytes(),
+            kernel.transition.tobytes(),
+            kernel.emission.tobytes(),
+            kernel.emission.shape,
+        )
+
+    def observations_for(self, kernel: HMM, options: RunOptions) -> List[int]:
+        observations = list(
+            options.hmm_observations
+            if options.hmm_observations is not None
+            else range(min(8, kernel.num_observations))
+        )
+        return [o % kernel.num_observations for o in observations]
+
+    def prepare(self, kernel: HMM, options: RunOptions, config: ArchConfig) -> CompiledArtifact:
+        observations = self.observations_for(kernel, options)
+        if options.optimize and options.calibration:
+            optimization = optimize(
+                kernel,
+                calibration=options.calibration,
+                keep_fraction=options.keep_fraction,
+            )
+            dag, model = optimization.dag, optimization.pruned_model
+            observations = list(options.calibration[0])
+        else:
+            optimization = None
+            dag = hmm_to_dag(kernel, observations)
+            model = kernel
+        artifact = self._compile_artifact(
+            kernel, options, config, dag, model, optimization, KernelClass.BAYESIAN
+        )
+        artifact.extras["observations"] = observations
+        return artifact
+
+    def reference(self, artifact: CompiledArtifact) -> Tuple[Optional[float], float]:
+        import math
+
+        observations = artifact.extras["observations"]
+        start = time.perf_counter()
+        value = math.exp(hmm_log_likelihood(artifact.model, observations))
+        return value, time.perf_counter() - start
+
+
+class DagAdapter(KernelAdapter):
+    """Raw unified DAGs: compile directly (regularizing when needed)."""
+
+    kind = "dag"
+
+    def kernel_key(self, kernel: Dag) -> object:
+        serial = []
+        for node_id in kernel.topological_order():
+            node = kernel.node(node_id)
+            serial.append(
+                (
+                    node_id,
+                    node.op.name,
+                    tuple(node.children),
+                    node.payload,
+                    tuple(node.weights) if node.weights else None,
+                )
+            )
+        return (tuple(serial), kernel.root)
+
+    def prepare(self, kernel: Dag, options: RunOptions, config: ArchConfig) -> CompiledArtifact:
+        histogram = kernel.op_histogram()
+        probabilistic = any(
+            op in histogram for op in (OpType.SUM, OpType.PRODUCT, OpType.LEAF)
+        )
+        kernel_class = KernelClass.MARGINAL if probabilistic else KernelClass.LOGIC
+        return self._compile_artifact(
+            kernel, options, config, kernel, None, None, kernel_class
+        )
+
+    def reference(self, artifact: CompiledArtifact) -> Tuple[Optional[float], float]:
+        dag = artifact.dag
+        start = time.perf_counter()
+        values = evaluate_dag(dag, default_leaf_inputs(dag))
+        elapsed = time.perf_counter() - start
+        result = values.get(dag.root) if dag.root is not None else None
+        return result, elapsed
+
+
+#: Type → adapter registry.  Exact type match wins; otherwise the most
+#: recently registered isinstance match, so a subclass adapter
+#: registered later shadows the built-in base-class entry.
+_ADAPTERS: "Dict[Type, KernelAdapter]" = {}
+
+
+def register_adapter(kernel_type: Type, adapter: KernelAdapter) -> None:
+    """Register (or override) the adapter handling ``kernel_type``."""
+    _ADAPTERS[kernel_type] = adapter
+
+
+def registered_adapters() -> Dict[Type, KernelAdapter]:
+    return dict(_ADAPTERS)
+
+
+def adapter_for(kernel: object) -> KernelAdapter:
+    """Resolve the adapter for a kernel instance via the registry."""
+    exact = _ADAPTERS.get(type(kernel))
+    if exact is not None:
+        return exact
+    for kernel_type, adapter in reversed(_ADAPTERS.items()):
+        if isinstance(kernel, kernel_type):
+            return adapter
+    supported = ", ".join(t.__name__ for t in _ADAPTERS)
+    raise TypeError(
+        f"unsupported kernel type: {type(kernel).__name__} (supported: {supported})"
+    )
+
+
+register_adapter(CNF, CnfAdapter())
+register_adapter(Circuit, CircuitAdapter())
+register_adapter(HMM, HmmAdapter())
+register_adapter(Dag, DagAdapter())

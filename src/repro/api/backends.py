@@ -1,0 +1,210 @@
+"""Execution backends: one kernel artifact, many substrates.
+
+A :class:`Backend` consumes a :class:`~repro.api.types.CompiledArtifact`
+and returns the shared :class:`~repro.api.types.ExecutionReport`, so
+results and costs are directly comparable across:
+
+* ``reason``   — the cycle-level REASON accelerator model (functional);
+* ``software`` — the reference CDCL / exact-inference implementations
+  (functional ground truth, wall-clock timed);
+* ``gpu`` / ``cpu`` — roofline-derated device cost models (analytic);
+* ``roofline`` — the bound itself, with the memory-bound diagnosis.
+
+Backends register by name in a module-level registry; adding a new
+substrate is one ``register_backend`` call.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.types import CompiledArtifact, ExecutionReport
+from repro.baselines.device import DeviceModel, RTX_A6000, XEON_CPU
+from repro.baselines.roofline import roofline_point
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.tree_pe import PEMode
+from repro.core.dag.graph import default_leaf_inputs
+from repro.logic.cdcl import SolveResult
+
+
+class Backend(abc.ABC):
+    """One execution substrate for compiled kernel artifacts."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        artifact: CompiledArtifact,
+        config: ArchConfig = DEFAULT_CONFIG,
+        queries: int = 1,
+        options: Optional[RunOptions] = None,
+    ) -> ExecutionReport:
+        """Execute the artifact ``queries`` times; report result + cost."""
+
+
+class ReasonBackend(Backend):
+    """The REASON accelerator model: functional execution with cycle,
+    energy and utilization accounting (a fresh chip instance per run so
+    energy counters never leak across requests)."""
+
+    name = "reason"
+
+    def run(self, artifact, config=DEFAULT_CONFIG, queries=1, options=None):
+        options = options or RunOptions()
+        accelerator = ReasonAccelerator(config)
+        if artifact.solver is not None:  # logic kernel: replay cached trace
+            trace, _ = accelerator.run_symbolic_trace(
+                artifact.model, artifact.solver, record_events=options.record_events
+            )
+            cycles = max(trace.cycles, 1) * queries
+            energy = accelerator.energy.total_energy_j() * queries
+            verdict = artifact.extras.get("verdict")
+            report = ExecutionReport(
+                backend=self.name,
+                kernel=artifact.kind,
+                result=1.0 if verdict is SolveResult.SAT else 0.0,
+                cycles=cycles,
+                seconds=cycles * config.cycle_time_s,
+                energy_j=energy,
+                power_w=accelerator.energy.average_power_w(cycles),
+                queries=queries,
+                extras={
+                    "verdict": verdict.name if verdict is not None else None,
+                    "decisions": trace.decisions,
+                    "implications": trace.implications,
+                    "conflicts": trace.conflicts,
+                },
+            )
+            if options.record_events:
+                report.extras["events"] = trace.events
+            return report
+
+        hw = accelerator.run_program(
+            artifact.program,
+            default_leaf_inputs(artifact.program.dag),
+            mode=PEMode.PROBABILISTIC,
+        )
+        cycles = max(hw.cycles, 1) * queries
+        return ExecutionReport(
+            backend=self.name,
+            kernel=artifact.kind,
+            result=hw.result,
+            cycles=cycles,
+            seconds=cycles * config.cycle_time_s,
+            energy_j=hw.energy_j * queries,
+            power_w=hw.power_w,
+            utilization=hw.utilization,
+            queries=queries,
+            extras={"instructions": hw.instructions, "stalls": hw.stalls},
+        )
+
+
+class SoftwareBackend(Backend):
+    """Reference implementations on the host CPU: the functional ground
+    truth every other backend is cross-checked against."""
+
+    name = "software"
+
+    def run(self, artifact, config=DEFAULT_CONFIG, queries=1, options=None):
+        adapter = adapter_for(artifact.kernel)
+        result, wall_s = adapter.reference(artifact)
+        return ExecutionReport(
+            backend=self.name,
+            kernel=artifact.kind,
+            result=result,
+            cycles=0,
+            seconds=wall_s * queries,
+            queries=queries,
+            extras={"wall_s_per_query": wall_s},
+        )
+
+
+class DeviceBackend(Backend):
+    """Analytic cost on a roofline-derated device model (no functional
+    result — the device executes the same kernel; we model its time)."""
+
+    def __init__(self, device: DeviceModel, name: Optional[str] = None):
+        self.device = device
+        self.name = name or device.name.lower().replace(" ", "-")
+
+    def run(self, artifact, config=DEFAULT_CONFIG, queries=1, options=None):
+        profile = artifact.profile
+        seconds = self.device.kernel_time_s(profile) * queries
+        energy = self.device.energy_j([profile]) * queries
+        return ExecutionReport(
+            backend=self.name,
+            kernel=artifact.kind,
+            result=None,
+            cycles=0,
+            seconds=seconds,
+            energy_j=energy,
+            power_w=energy / seconds if seconds > 0 else 0.0,
+            queries=queries,
+            extras={"device": self.device.name, "kernel_class": profile.kernel_class.value},
+        )
+
+
+class RooflineBackend(Backend):
+    """Roofline placement: attainable vs achieved throughput and the
+    memory-bound diagnosis (paper Fig. 3(d)) for the kernel's profile."""
+
+    name = "roofline"
+
+    def __init__(self, device: DeviceModel = RTX_A6000):
+        self.device = device
+
+    def run(self, artifact, config=DEFAULT_CONFIG, queries=1, options=None):
+        profile = artifact.profile
+        point = roofline_point(self.device, profile, label=artifact.kind)
+        seconds = self.device.kernel_time_s(profile) * queries
+        return ExecutionReport(
+            backend=self.name,
+            kernel=artifact.kind,
+            result=None,
+            cycles=0,
+            seconds=seconds,
+            queries=queries,
+            extras={
+                "device": self.device.name,
+                "operational_intensity": point.operational_intensity,
+                "attainable_tflops": point.attainable_tflops,
+                "achieved_tflops": point.achieved_tflops,
+                "memory_bound": point.memory_bound,
+                "efficiency": point.efficiency,
+            },
+        )
+
+
+#: Name → factory registry.  Factories keep registration cheap while
+#: letting sessions hold their own (stateless) backend instances.
+_BACKENDS: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register (or override) a backend under ``name``."""
+    _BACKENDS[name] = factory
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r} (registered: {', '.join(sorted(_BACKENDS))})"
+        ) from None
+    return factory()
+
+
+def list_backends() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+register_backend("reason", ReasonBackend)
+register_backend("software", SoftwareBackend)
+register_backend("gpu", lambda: DeviceBackend(RTX_A6000, name="gpu"))
+register_backend("cpu", lambda: DeviceBackend(XEON_CPU, name="cpu"))
+register_backend("roofline", RooflineBackend)

@@ -1,0 +1,93 @@
+"""Content-addressed compile cache for :class:`repro.api.ReasonSession`.
+
+The offline front end (Stage 1-3 optimization + DAG→VLIW compilation,
+or CDCL solve + trace recording for logic kernels) dominates the cost
+of repeated queries; execution replay is cheap.  The cache keys
+artifacts by a content hash of the kernel, the architecture config and
+the optimization options, so structurally identical requests compile
+once and replay many times — the serving pattern the ROADMAP targets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.api.types import CompiledArtifact
+
+
+def content_key(*parts: object) -> str:
+    """Stable content hash over an iterable of picklable-repr parts.
+
+    ``bytes`` parts (e.g. numpy ``tobytes()`` dumps) are hashed raw;
+    everything else via ``repr`` — adapters are responsible for passing
+    canonical, order-stable structures (sorted clause tuples,
+    topologically ordered node serializations, frozen configs).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            digest.update(part)
+        else:
+            digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")  # field separator: avoid concat collisions
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting surfaced by the session's reports."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CompileCache:
+    """LRU map from content key to :class:`CompiledArtifact`.
+
+    ``capacity=None`` means unbounded (the default: artifacts are small
+    relative to the kernels they were compiled from).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("cache capacity must be positive (or None)")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CompiledArtifact]:
+        artifact = self._entries.get(key)
+        if artifact is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: CompiledArtifact) -> None:
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,208 @@
+"""`ReasonSession`: the one front door to the REASON stack.
+
+One object owns the whole flow the paper describes — unify → prune →
+regularize → compile → execute — behind two calls::
+
+    from repro import ReasonSession
+
+    session = ReasonSession()
+    report = session.run(kernel)                   # any kernel family
+    batch = session.run_batch(kernels, queries=8)  # pipelined batch
+
+Kernels dispatch through the adapter registry (CNF, Circuit, HMM, raw
+Dag out of the box), execute on any registered backend (``reason``,
+``software``, ``gpu``, ``cpu``, ``roofline``), and compiled artifacts
+are cached by content hash: structurally identical requests pay the
+offline front end once and replay from the cache thereafter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.backends import Backend, get_backend, list_backends
+from repro.api.cache import CacheStats, CompileCache
+from repro.api.types import BatchResult, CompiledArtifact, ExecutionReport
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.system.pipeline import TwoLevelPipeline
+
+
+class ReasonSession:
+    """A stateful handle over the accelerator stack.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration shared by every request.
+    cache:
+        Enable the content-hash compile cache (on by default).
+    cache_capacity:
+        Optional LRU bound on cached artifacts (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig = DEFAULT_CONFIG,
+        cache: bool = True,
+        cache_capacity: Optional[int] = None,
+    ):
+        self.config = config
+        self._cache: Optional[CompileCache] = (
+            CompileCache(capacity=cache_capacity) if cache else None
+        )
+        self._backends: Dict[str, Backend] = {}
+        self._prepare_calls = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters (zeros when caching is disabled)."""
+        return self._cache.stats if self._cache is not None else CacheStats()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache) if self._cache is not None else 0
+
+    @property
+    def prepare_calls(self) -> int:
+        """How many times the offline front end actually ran."""
+        return self._prepare_calls
+
+    def backends(self) -> List[str]:
+        """Names accepted by ``run(..., backend=...)``."""
+        return list_backends()
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _backend(self, name: str) -> Backend:
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = get_backend(name)
+            self._backends[name] = backend
+        return backend
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self, kernel: object, **option_kwargs) -> CompiledArtifact:
+        """Take ``kernel`` through the offline front end, cache-aware.
+
+        Returns the cached artifact on a content-hash hit; otherwise
+        runs optimization + compilation (or CDCL solve + trace record
+        for logic kernels) and stores the result.
+        """
+        options = RunOptions(**option_kwargs)
+        adapter = adapter_for(kernel)
+        key = adapter.fingerprint(kernel, options, self.config)
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        start = time.perf_counter()
+        artifact = adapter.prepare(kernel, options, self.config)
+        artifact.compile_s = time.perf_counter() - start
+        artifact.key = key
+        self._prepare_calls += 1
+        if self._cache is not None:
+            self._cache.put(key, artifact)
+        return artifact
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        kernel: object,
+        backend: str = "reason",
+        queries: int = 1,
+        **option_kwargs,
+    ) -> ExecutionReport:
+        """Compile (or fetch from cache) and execute one kernel.
+
+        ``kernel`` may be a CNF formula, probabilistic circuit, HMM, or
+        raw unified Dag — anything with a registered adapter.  Keyword
+        options (``optimize``, ``calibration``, ``keep_fraction``,
+        ``hmm_observations``, ``record_events``) feed the front end;
+        see :class:`repro.api.adapters.RunOptions`.
+        """
+        if queries < 1:
+            raise ValueError("queries must be >= 1")
+        options = RunOptions(**option_kwargs)
+        hits_before = self.cache_stats.hits
+        artifact = self.compile(kernel, **option_kwargs)
+        cache_hit = self.cache_stats.hits > hits_before
+        report = self._backend(backend).run(
+            artifact, config=self.config, queries=queries, options=options
+        )
+        report.cache_hit = cache_hit
+        report.compile_s = 0.0 if cache_hit else artifact.compile_s
+        return report
+
+    def run_batch(
+        self,
+        kernels: Sequence[object],
+        backend: str = "reason",
+        queries: int = 1,
+        neural_s: Union[float, Sequence[float]] = 0.0,
+        pipelined: bool = True,
+        calibrations: Optional[Sequence] = None,
+        **option_kwargs,
+    ) -> BatchResult:
+        """Run many kernels in one call, scheduled through the two-level
+        GPU↔REASON pipeline.
+
+        ``neural_s`` gives each task's neural-stage time (scalar
+        broadcast or one value per kernel); the batch makespan overlaps
+        task N's symbolic stage with task N+1's neural stage exactly as
+        :class:`~repro.core.system.pipeline.TwoLevelPipeline` models.
+        ``calibrations`` optionally supplies per-kernel calibration data
+        (overriding a shared ``calibration=`` option).
+        """
+        kernels = list(kernels)
+        if isinstance(neural_s, (int, float)):
+            neural_times = [float(neural_s)] * len(kernels)
+        else:
+            neural_times = [float(t) for t in neural_s]
+            if len(neural_times) != len(kernels):
+                raise ValueError("need one neural_s per kernel")
+        if calibrations is not None and len(calibrations) != len(kernels):
+            raise ValueError("need one calibration entry per kernel")
+
+        hits_before = self.cache_stats.hits
+        misses_before = self.cache_stats.misses
+        reports = []
+        for index, kernel in enumerate(kernels):
+            kwargs = dict(option_kwargs)
+            if calibrations is not None:
+                kwargs["calibration"] = calibrations[index]
+            reports.append(self.run(kernel, backend=backend, queries=queries, **kwargs))
+
+        symbolic_times = [report.seconds for report in reports]
+        pipeline = TwoLevelPipeline()
+        overlapped = pipeline.run(neural_times, symbolic_times, pipelined=pipelined)
+        serial = pipeline.run(neural_times, symbolic_times, pipelined=False)
+        return BatchResult(
+            reports=reports,
+            total_s=overlapped.total_s,
+            serial_s=serial.total_s,
+            neural_s=overlapped.neural_s,
+            symbolic_s=overlapped.symbolic_s,
+            overlap_saved_s=overlapped.overlap_saved_s,
+            cache_hits=self.cache_stats.hits - hits_before,
+            cache_misses=self.cache_stats.misses - misses_before,
+        )
+
+    # -------------------------------------------------------- cross-checks
+
+    def cross_check(
+        self, kernel: object, backends: Optional[Sequence[str]] = None, **option_kwargs
+    ) -> Dict[str, ExecutionReport]:
+        """Run one kernel on several backends (default: all registered)
+        and return the reports keyed by backend name."""
+        names = list(backends) if backends is not None else self.backends()
+        return {
+            name: self.run(kernel, backend=name, **option_kwargs) for name in names
+        }

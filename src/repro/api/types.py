@@ -1,0 +1,118 @@
+"""Shared result and artifact types of the public :mod:`repro.api` surface.
+
+Every backend — the REASON accelerator model, the software reference
+solvers, the GPU/CPU device cost models, the roofline analyzer —
+returns the same :class:`ExecutionReport`, so a kernel's answer and
+cost can be cross-checked across substrates with one comparison loop.
+:class:`CompiledArtifact` is the unit the session's compile cache
+stores: everything the optimize→compile front end produced, ready to
+replay on any backend without repeating that work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.baselines.device import KernelProfile
+from repro.core.compiler.driver import CompileStats
+from repro.core.compiler.program import Program
+from repro.core.dag.graph import Dag
+from repro.core.dag.pipeline import OptimizationResult
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running one kernel on one backend.
+
+    ``result`` is the kernel's functional answer under each family's
+    canonical query: SAT verdict as 1.0/0.0 for logic kernels, the
+    root marginal (partition function / sequence likelihood) for
+    probabilistic ones, the root value for raw DAGs.  Cost fields may
+    be zero where a backend cannot model them (e.g. the software
+    reference reports wall time but no energy).
+    """
+
+    backend: str
+    kernel: str  # adapter kind: "cnf" | "circuit" | "hmm" | "dag"
+    result: Optional[float]
+    cycles: int
+    seconds: float
+    energy_j: float = 0.0
+    power_w: float = 0.0
+    utilization: float = 0.0
+    queries: int = 1
+    cache_hit: bool = False
+    compile_s: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def per_query_s(self) -> float:
+        return self.seconds / max(self.queries, 1)
+
+    def scaled(self, factor: float) -> "ExecutionReport":
+        """Lift a miniature-instance measurement to full task size
+        (same calibration convention as ``ReasonTiming.scaled``)."""
+        return replace(
+            self,
+            cycles=int(self.cycles * factor),
+            seconds=self.seconds * factor,
+            energy_j=self.energy_j * factor,
+        )
+
+
+@dataclass
+class CompiledArtifact:
+    """One kernel taken through the offline front end, cache-ready.
+
+    Which fields are populated depends on the kernel family: logic
+    kernels carry the pruned formula plus the recorded CDCL trace
+    (solve once, replay many); DAG-based kernels carry the optimized
+    DAG and its scheduled VLIW program.  ``profile`` summarizes the
+    kernel's work for the analytic device/roofline backends.
+    """
+
+    kind: str
+    key: str
+    kernel: object
+    model: object = None  # pruned CNF / Circuit / HMM (or the original)
+    dag: Optional[Dag] = None
+    program: Optional[Program] = None
+    compile_stats: Optional[CompileStats] = None
+    optimization: Optional[OptimizationResult] = None
+    solver: object = None  # CDCLSolver with a recorded trace (logic only)
+    profile: Optional[KernelProfile] = None
+    compile_s: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`ReasonSession.run_batch`.
+
+    ``total_s`` is the batch makespan with the two-level GPU↔REASON
+    pipeline overlapping each task's neural stage with the previous
+    task's symbolic stage; ``serial_s`` is the same batch strictly
+    serialized (the ablation).
+    """
+
+    reports: List[ExecutionReport]
+    total_s: float
+    serial_s: float
+    neural_s: float
+    symbolic_s: float
+    overlap_saved_s: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.total_s if self.total_s > 0 else 1.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self.reports)

@@ -297,14 +297,18 @@ class ReasonAccelerator:
         return aggregate, per_cube
 
     def run_symbolic_trace(
-        self, formula: CNF, solver: "CDCLSolver"
+        self,
+        formula: CNF,
+        solver: "CDCLSolver",
+        record_events: bool = False,
+        max_events: int = 2000,
     ) -> Tuple[SymbolicExecutionTrace, "CDCLSolver"]:
         """Replay an already-solved CDCL run (trace must be recorded)."""
         if not solver.trace and (
             solver.stats.decisions or solver.stats.propagations
         ):
             raise ValueError("solver was run without record_trace=True")
-        return self._replay(formula, solver, record_events=False, max_events=0)
+        return self._replay(formula, solver, record_events, max_events)
 
     # ------------------------------------------------------------- reports
 

@@ -1,24 +1,21 @@
 """Executing workload kernels on the REASON accelerator model.
 
-Workload ``reason_kernel`` outputs are heterogeneous (CNF, Circuit,
-HMM); this module normalizes them: logic kernels replay on the symbolic
-engine, probabilistic kernels run the optimize→compile→execute path.
-Returned timings are per-query cycles/seconds plus the energy model for
-power/energy reporting.
+.. deprecated::
+    This module is a compatibility shim.  The optimize → compile →
+    execute flow (including the per-kernel-type dispatch that used to
+    live here) moved behind :class:`repro.api.ReasonSession`, which
+    adds pluggable backends, a compile cache, and batched execution.
+    ``time_kernel_on_reason`` keeps its exact signature and semantics
+    for existing call sites but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
-from repro.core.arch.accelerator import ReasonAccelerator
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
-from repro.core.arch.energy import EnergyModel
-from repro.core.arch.tree_pe import PEMode
-from repro.core.compiler import compile_dag
-from repro.core.dag import circuit_to_dag, hmm_to_dag, optimize
-from repro.core.dag.graph import default_leaf_inputs
 from repro.hmm.model import HMM
 from repro.logic.cnf import CNF
 from repro.pc.circuit import Circuit
@@ -45,6 +42,17 @@ class ReasonTiming:
             utilization=self.utilization,
         )
 
+    @classmethod
+    def from_report(cls, report) -> "ReasonTiming":
+        """Build from a :class:`repro.api.ExecutionReport`."""
+        return cls(
+            cycles=report.cycles,
+            seconds=report.seconds,
+            energy_j=report.energy_j,
+            power_w=report.power_w,
+            utilization=report.utilization,
+        )
+
 
 def time_kernel_on_reason(
     kernel: Union[CNF, Circuit, HMM],
@@ -54,61 +62,25 @@ def time_kernel_on_reason(
     queries: int = 1,
     hmm_observations: Optional[Sequence[int]] = None,
 ) -> ReasonTiming:
-    """Run one workload kernel on the accelerator and report costs.
+    """Deprecated: run one kernel on the accelerator and report costs.
 
-    With ``apply_algorithm_optimizations`` the Stage 1-3 pipeline
-    (unify, prune, regularize) runs first when calibration data is
-    available — the full REASON stack; otherwise the raw kernel
-    compiles directly (the "w/o algorithm optimization" ablation).
+    Equivalent to ``ReasonSession(config).run(kernel, ...)`` with the
+    ``reason`` backend; use the session directly to get compile caching,
+    batch scheduling, and alternative backends.
     """
-    accelerator = ReasonAccelerator(config)
+    warnings.warn(
+        "time_kernel_on_reason is deprecated; use repro.api.ReasonSession.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import ReasonSession
 
-    if isinstance(kernel, CNF):
-        working = kernel
-        if apply_algorithm_optimizations:
-            working = optimize(kernel).pruned_model
-        trace, _ = accelerator.run_symbolic(working)
-        cycles = max(trace.cycles, 1) * queries
-        energy = accelerator.energy.total_energy_j() * queries
-        power = accelerator.energy.average_power_w(cycles)
-        return ReasonTiming(cycles, cycles * config.cycle_time_s, energy, power)
-
-    if isinstance(kernel, Circuit):
-        if apply_algorithm_optimizations and calibration:
-            dag = optimize(kernel, calibration=calibration).dag
-        else:
-            dag, _ = circuit_to_dag(kernel)
-        program, _ = compile_dag(dag, config)
-        report = accelerator.run_program(
-            program, default_leaf_inputs(program.dag), mode=PEMode.PROBABILISTIC
-        )
-        cycles = max(report.cycles, 1) * queries
-        return ReasonTiming(
-            cycles,
-            cycles * config.cycle_time_s,
-            report.energy_j * queries,
-            report.power_w,
-            report.utilization,
-        )
-
-    if isinstance(kernel, HMM):
-        observations = list(hmm_observations or range(min(8, kernel.num_observations)))
-        observations = [o % kernel.num_observations for o in observations]
-        if apply_algorithm_optimizations and calibration:
-            dag = optimize(kernel, calibration=calibration).dag
-        else:
-            dag = hmm_to_dag(kernel, observations)
-        program, _ = compile_dag(dag, config)
-        report = accelerator.run_program(
-            program, default_leaf_inputs(program.dag), mode=PEMode.PROBABILISTIC
-        )
-        cycles = max(report.cycles, 1) * queries
-        return ReasonTiming(
-            cycles,
-            cycles * config.cycle_time_s,
-            report.energy_j * queries,
-            report.power_w,
-            report.utilization,
-        )
-
-    raise TypeError(f"unsupported kernel type: {type(kernel).__name__}")
+    report = ReasonSession(config=config, cache=False).run(
+        kernel,
+        backend="reason",
+        queries=queries,
+        optimize=apply_algorithm_optimizations,
+        calibration=calibration,
+        hmm_observations=hmm_observations,
+    )
+    return ReasonTiming.from_report(report)

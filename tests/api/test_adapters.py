@@ -1,0 +1,115 @@
+"""Adapter registry: type dispatch, fingerprints, and the error path."""
+
+import pytest
+
+from repro.api import adapter_for, register_adapter, registered_adapters
+from repro.api.adapters import (
+    CnfAdapter,
+    DagAdapter,
+    HmmAdapter,
+    KernelAdapter,
+    RunOptions,
+)
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.core.dag import cnf_to_dag
+from repro.core.dag.graph import Dag
+from repro.hmm.model import HMM
+from repro.logic.cnf import CNF
+from repro.logic.generators import random_ksat
+from repro.pc.circuit import Circuit
+from repro.pc.learn import random_circuit
+
+
+class TestRegistryDispatch:
+    def test_each_kernel_family_resolves(self):
+        kinds = {
+            adapter_for(random_ksat(6, 18, seed=0)).kind: CNF,
+            adapter_for(random_circuit(4, depth=2, seed=1)).kind: Circuit,
+            adapter_for(HMM.random(3, 4, seed=2)).kind: HMM,
+            adapter_for(cnf_to_dag(random_ksat(5, 12, seed=3))[0]).kind: Dag,
+        }
+        assert set(kinds) == {"cnf", "circuit", "hmm", "dag"}
+
+    def test_unsupported_type_raises_with_supported_list(self):
+        with pytest.raises(TypeError, match="unsupported kernel type: str"):
+            adapter_for("not a kernel")
+        with pytest.raises(TypeError, match="CNF"):
+            adapter_for(42)
+
+    def test_registry_is_extensible(self):
+        class Fake:
+            pass
+
+        class FakeAdapter(KernelAdapter):
+            kind = "fake"
+
+        before = dict(registered_adapters())
+        try:
+            register_adapter(Fake, FakeAdapter())
+            assert adapter_for(Fake()).kind == "fake"
+        finally:
+            registered = registered_adapters()
+            for extra in set(registered) - set(before):
+                from repro.api import adapters as adapters_module
+
+                adapters_module._ADAPTERS.pop(extra)
+
+
+class TestFingerprints:
+    def test_identical_content_same_key(self):
+        options = RunOptions()
+        a = random_ksat(10, 30, seed=4)
+        b = random_ksat(10, 30, seed=4)  # fresh object, same content
+        adapter = CnfAdapter()
+        assert a is not b
+        assert adapter.fingerprint(a, options, DEFAULT_CONFIG) == adapter.fingerprint(
+            b, options, DEFAULT_CONFIG
+        )
+
+    def test_different_content_different_key(self):
+        options = RunOptions()
+        adapter = CnfAdapter()
+        a = random_ksat(10, 30, seed=4)
+        b = random_ksat(10, 30, seed=5)
+        assert adapter.fingerprint(a, options, DEFAULT_CONFIG) != adapter.fingerprint(
+            b, options, DEFAULT_CONFIG
+        )
+
+    def test_options_are_part_of_the_key(self):
+        adapter = CnfAdapter()
+        kernel = random_ksat(10, 30, seed=6)
+        optimized = adapter.fingerprint(kernel, RunOptions(optimize=True), DEFAULT_CONFIG)
+        raw = adapter.fingerprint(kernel, RunOptions(optimize=False), DEFAULT_CONFIG)
+        assert optimized != raw
+
+    def test_hmm_observations_in_key(self):
+        adapter = HmmAdapter()
+        hmm = HMM.random(3, 4, seed=7)
+        a = adapter.fingerprint(hmm, RunOptions(hmm_observations=(0, 1)), DEFAULT_CONFIG)
+        b = adapter.fingerprint(hmm, RunOptions(hmm_observations=(1, 0)), DEFAULT_CONFIG)
+        assert a != b
+
+    def test_dag_key_covers_structure(self):
+        adapter = DagAdapter()
+        dag_a, _ = cnf_to_dag(random_ksat(6, 15, seed=8))
+        dag_b, _ = cnf_to_dag(random_ksat(6, 15, seed=9))
+        options = RunOptions()
+        assert adapter.fingerprint(dag_a, options, DEFAULT_CONFIG) != adapter.fingerprint(
+            dag_b, options, DEFAULT_CONFIG
+        )
+
+
+class TestPreparedArtifacts:
+    def test_cnf_artifact_carries_trace_and_verdict(self):
+        adapter = CnfAdapter()
+        artifact = adapter.prepare(random_ksat(10, 30, seed=10), RunOptions(), DEFAULT_CONFIG)
+        assert artifact.solver is not None and artifact.solver.trace
+        assert "verdict" in artifact.extras
+        assert artifact.profile.flops > 0
+
+    def test_dag_artifact_compiles_program(self):
+        adapter = DagAdapter()
+        dag, _ = cnf_to_dag(random_ksat(6, 15, seed=11))
+        artifact = adapter.prepare(dag, RunOptions(), DEFAULT_CONFIG)
+        assert artifact.program is not None
+        assert artifact.compile_stats.cycles > 0

@@ -1,0 +1,124 @@
+"""Backend registry and cross-substrate parity: every kernel family runs
+on every registered backend through one ExecutionReport, and the
+accelerator model agrees with the software reference answers."""
+
+import math
+
+import pytest
+
+from repro.api import ExecutionReport, ReasonSession, get_backend, list_backends
+from repro.core.dag import circuit_to_dag
+from repro.hmm.inference import log_likelihood as hmm_ll
+from repro.hmm.model import HMM
+from repro.logic.generators import pigeonhole, random_ksat, redundant_sat
+from repro.pc.inference import likelihood
+from repro.pc.learn import random_circuit, sample_dataset
+
+
+REQUIRED_BACKENDS = ["reason", "software", "gpu", "cpu", "roofline"]
+
+
+class TestRegistry:
+    def test_at_least_four_backends_registered(self):
+        names = list_backends()
+        assert len(names) >= 4
+        for required in REQUIRED_BACKENDS:
+            assert required in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("quantum")
+        session = ReasonSession()
+        with pytest.raises(KeyError):
+            session.run(random_ksat(6, 18, seed=0), backend="quantum")
+
+
+class TestEveryKernelOnEveryBackend:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return ReasonSession()
+
+    @pytest.fixture(scope="class")
+    def kernels(self):
+        circuit = random_circuit(5, depth=2, seed=1)
+        return {
+            "cnf": (random_ksat(12, 40, seed=0), {}),
+            "circuit": (circuit, {"calibration": sample_dataset(circuit, 15, seed=2)}),
+            "hmm": (HMM.random(3, 4, seed=3), {"hmm_observations": [0, 1, 2, 3]}),
+            "dag": (circuit_to_dag(random_circuit(4, depth=2, seed=4))[0], {}),
+        }
+
+    @pytest.mark.parametrize("backend", REQUIRED_BACKENDS)
+    @pytest.mark.parametrize("kind", ["cnf", "circuit", "hmm", "dag"])
+    def test_common_report_shape(self, session, kernels, backend, kind):
+        kernel, kwargs = kernels[kind]
+        report = session.run(kernel, backend=backend, **kwargs)
+        assert isinstance(report, ExecutionReport)
+        assert report.backend == backend
+        assert report.kernel == kind
+        assert report.seconds > 0.0
+        assert report.queries == 1
+
+    def test_reason_reports_cycles_and_energy(self, session, kernels):
+        kernel, kwargs = kernels["cnf"]
+        report = session.run(kernel, backend="reason", **kwargs)
+        assert report.cycles > 0 and report.energy_j > 0 and report.power_w > 0
+
+    def test_roofline_diagnoses_memory_bound(self, session, kernels):
+        kernel, kwargs = kernels["cnf"]
+        report = session.run(kernel, backend="roofline", **kwargs)
+        # Symbolic kernels sit far left of the ridge point (paper Fig. 3d).
+        assert report.extras["memory_bound"] is True
+        assert report.extras["operational_intensity"] < 1.0
+
+
+class TestFunctionalParity:
+    """software and reason are independent executors of the same kernel;
+    their functional answers must agree."""
+
+    def test_sat_verdict_agrees_on_satisfiable(self):
+        session = ReasonSession()
+        for seed in range(3):
+            formula, _ = redundant_sat(25, 95, seed=seed)
+            hardware = session.run(formula, backend="reason")
+            software = session.run(formula, backend="software")
+            assert hardware.result == software.result == 1.0
+
+    def test_sat_verdict_agrees_on_unsatisfiable(self):
+        session = ReasonSession()
+        formula = pigeonhole(3)
+        hardware = session.run(formula, backend="reason")
+        software = session.run(formula, backend="software")
+        assert hardware.result == software.result == 0.0
+
+    def test_pc_marginal_matches_reference(self):
+        session = ReasonSession()
+        circuit = random_circuit(6, depth=3, seed=5)
+        hardware = session.run(circuit, backend="reason")
+        software = session.run(circuit, backend="software")
+        assert hardware.result == pytest.approx(software.result)
+        assert hardware.result == pytest.approx(likelihood(circuit, {}))
+
+    def test_pc_marginal_parity_survives_pruning(self):
+        session = ReasonSession()
+        circuit = random_circuit(6, depth=2, seed=6)
+        calibration = sample_dataset(circuit, 20, seed=7)
+        hardware = session.run(circuit, backend="reason", calibration=calibration)
+        software = session.run(circuit, backend="software", calibration=calibration)
+        assert hardware.result == pytest.approx(software.result)
+
+    def test_hmm_likelihood_matches_forward_algorithm(self):
+        session = ReasonSession()
+        hmm = HMM.random(4, 5, seed=8)
+        observations = [0, 3, 1, 4, 2]
+        hardware = session.run(hmm, backend="reason", hmm_observations=observations)
+        software = session.run(hmm, backend="software", hmm_observations=observations)
+        assert hardware.result == pytest.approx(software.result)
+        assert math.log(hardware.result) == pytest.approx(hmm_ll(hmm, observations))
+
+    def test_cross_check_helper_covers_all_backends(self):
+        session = ReasonSession()
+        reports = session.cross_check(random_ksat(10, 30, seed=9))
+        assert set(reports) == set(list_backends())
+        functional = {n: r.result for n, r in reports.items() if r.result is not None}
+        assert len(set(functional.values())) == 1  # all agree

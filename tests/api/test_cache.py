@@ -1,0 +1,97 @@
+"""Compile-cache semantics: hits, misses, eviction, and the session's
+compile-once/replay-many behavior."""
+
+import pytest
+
+from repro.api import CompileCache, ReasonSession, content_key
+from repro.api.types import CompiledArtifact
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit
+
+
+def _artifact(key: str) -> CompiledArtifact:
+    return CompiledArtifact(kind="cnf", key=key, kernel=None)
+
+
+class TestCompileCache:
+    def test_miss_then_hit(self):
+        cache = CompileCache()
+        assert cache.get("k") is None
+        cache.put("k", _artifact("k"))
+        assert cache.get("k") is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = CompileCache(capacity=2)
+        cache.put("a", _artifact("a"))
+        cache.put("b", _artifact("b"))
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", _artifact("c"))
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CompileCache(capacity=0)
+
+    def test_content_key_separates_fields(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert content_key("ab", "c") != content_key("a", "bc")
+        assert content_key(b"raw") != content_key("raw")
+
+
+class TestSessionCaching:
+    def test_repeated_kernel_compiles_once(self):
+        session = ReasonSession()
+        kernel = random_ksat(12, 40, seed=0)
+        first = session.run(kernel)
+        again = session.run(kernel)
+        rebuilt = session.run(random_ksat(12, 40, seed=0))  # same content, new object
+        assert not first.cache_hit and again.cache_hit and rebuilt.cache_hit
+        assert session.prepare_calls == 1
+        assert session.cache_stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_replays_identically(self):
+        session = ReasonSession()
+        kernel = random_ksat(12, 40, seed=1)
+        first = session.run(kernel, queries=3)
+        second = session.run(kernel, queries=3)
+        assert second.cycles == first.cycles
+        assert second.result == first.result
+        assert second.compile_s == 0.0 and first.compile_s > 0.0
+
+    def test_option_change_is_a_miss(self):
+        session = ReasonSession()
+        kernel = random_ksat(12, 40, seed=2)
+        session.run(kernel, optimize=True)
+        report = session.run(kernel, optimize=False)
+        assert not report.cache_hit
+        assert session.prepare_calls == 2
+
+    def test_disabled_cache_never_hits(self):
+        session = ReasonSession(cache=False)
+        kernel = random_circuit(4, depth=2, seed=3)
+        session.run(kernel)
+        report = session.run(kernel)
+        assert not report.cache_hit
+        assert session.prepare_calls == 2
+        assert session.cache_stats.lookups == 0
+
+    def test_clear_cache_forces_recompile(self):
+        session = ReasonSession()
+        kernel = random_ksat(10, 30, seed=4)
+        session.run(kernel)
+        session.clear_cache()
+        report = session.run(kernel)
+        assert not report.cache_hit
+        assert session.prepare_calls == 2
+
+    def test_cached_replay_skips_front_end_wall_time(self):
+        """The point of the cache: second run avoids optimize+compile."""
+        session = ReasonSession()
+        kernel = random_ksat(40, 160, seed=5)
+        first = session.run(kernel)
+        second = session.run(kernel)
+        assert first.compile_s > 0.0
+        assert second.cache_hit and second.compile_s == 0.0

@@ -1,0 +1,125 @@
+"""ReasonSession facade: run/run_batch semantics, public exports, and
+the deprecation shim over the legacy runner entry point."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import BatchResult, ReasonSession
+from repro.core.system.runner import ReasonTiming, time_kernel_on_reason
+from repro.hmm.model import HMM
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit, sample_dataset
+
+
+class TestRun:
+    def test_queries_scale_cycles_exactly(self):
+        session = ReasonSession()
+        kernel = random_ksat(12, 40, seed=0)
+        one = session.run(kernel, queries=1)
+        many = session.run(kernel, queries=10)
+        assert many.cycles == one.cycles * 10
+        assert many.seconds == pytest.approx(one.seconds * 10)
+        assert many.per_query_s == pytest.approx(one.seconds)
+
+    def test_invalid_queries_rejected(self):
+        with pytest.raises(ValueError):
+            ReasonSession().run(random_ksat(6, 18, seed=1), queries=0)
+
+    def test_record_events_surfaces_timeline(self):
+        report = ReasonSession().run(
+            random_ksat(10, 30, seed=2), backend="reason", record_events=True
+        )
+        events = report.extras["events"]
+        assert events and all(hasattr(e, "unit") for e in events)
+
+    def test_scaled_report(self):
+        report = ReasonSession().run(random_ksat(10, 30, seed=3))
+        scaled = report.scaled(100.0)
+        assert scaled.cycles == report.cycles * 100
+        assert scaled.seconds == pytest.approx(report.seconds * 100)
+        assert scaled.backend == report.backend
+
+
+class TestRunBatch:
+    def test_batched_totals_match_serial_sum_without_overlap(self):
+        session = ReasonSession()
+        kernels = [random_ksat(10, 30, seed=s) for s in range(4)]
+        batch = session.run_batch(kernels, neural_s=0.0, pipelined=False)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 4
+        per_kernel = sum(report.seconds for report in batch.reports)
+        # Serial makespan = sum of stage times plus per-task handoffs.
+        assert batch.total_s == pytest.approx(per_kernel, rel=1e-6, abs=1e-4)
+
+    def test_pipelined_batch_not_slower_and_overlap_reported(self):
+        session = ReasonSession()
+        kernels = [random_ksat(10, 30, seed=s) for s in range(4)]
+        symbolic = session.run_batch(kernels, queries=1000, pipelined=False)
+        neural_s = symbolic.reports[0].seconds  # balanced two-stage pipeline
+        overlapped = session.run_batch(kernels, queries=1000, neural_s=neural_s)
+        serial = session.run_batch(
+            kernels, queries=1000, neural_s=neural_s, pipelined=False
+        )
+        assert overlapped.total_s < serial.total_s
+        assert overlapped.overlap_saved_s > 0
+        assert overlapped.speedup > 1.0
+
+    def test_batch_reports_cache_hits(self):
+        session = ReasonSession()
+        kernel = random_ksat(10, 30, seed=5)
+        batch = session.run_batch([kernel] * 5)
+        assert batch.cache_misses == 1 and batch.cache_hits == 4
+        assert batch.hit_rate == pytest.approx(0.8)
+
+    def test_mixed_kernel_families_in_one_batch(self):
+        session = ReasonSession()
+        circuit = random_circuit(4, depth=2, seed=6)
+        kernels = [random_ksat(8, 24, seed=7), circuit, HMM.random(3, 4, seed=8)]
+        batch = session.run_batch(kernels)
+        assert [r.kernel for r in batch.reports] == ["cnf", "circuit", "hmm"]
+
+    def test_per_kernel_calibrations(self):
+        session = ReasonSession()
+        circuits = [random_circuit(4, depth=2, seed=s) for s in (9, 10)]
+        calibrations = [sample_dataset(c, 10, seed=11) for c in circuits]
+        batch = session.run_batch(circuits, calibrations=calibrations)
+        assert all(report.result == pytest.approx(1.0) for report in batch.reports)
+
+    def test_mismatched_lengths_rejected(self):
+        session = ReasonSession()
+        kernels = [random_ksat(8, 24, seed=12)] * 2
+        with pytest.raises(ValueError):
+            session.run_batch(kernels, neural_s=[0.1])
+        with pytest.raises(ValueError):
+            session.run_batch(kernels, calibrations=[None])
+
+
+class TestPublicSurface:
+    def test_top_level_imports(self):
+        assert repro.__version__ == "1.1.0"
+        for name in ("ReasonSession", "Backend", "ExecutionReport", "BatchResult"):
+            assert hasattr(repro, name)
+
+    def test_session_lists_backends(self):
+        assert set(ReasonSession().backends()) >= {"reason", "software", "gpu", "cpu"}
+
+
+class TestDeprecationShim:
+    def test_shim_warns_and_matches_session(self):
+        kernel = random_ksat(12, 40, seed=13)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            timing = time_kernel_on_reason(kernel, queries=2)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert isinstance(timing, ReasonTiming)
+        report = ReasonSession().run(kernel, queries=2)
+        assert timing.cycles == report.cycles
+        assert timing.seconds == pytest.approx(report.seconds)
+
+    def test_shim_rejects_unknown_kernel(self):
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                time_kernel_on_reason("nope")
