@@ -1,0 +1,140 @@
+"""Shard-scaling benchmark: `ReasonService` throughput vs shard count.
+
+Two questions a serving deployment asks:
+
+1. **Does throughput scale with shards?**  A mixed 32-kernel workload
+   (SAT + circuits + HMMs) runs on 1/2/4 shards; the reported
+   throughput divides the workload by the *modeled* service makespan —
+   each shard's completed requests composed through its own two-level
+   GPU↔REASON pipeline, service makespan = slowest shard (so pipeline
+   fill and imbalance cost what the paper's overlap model says, once
+   per shard).  Expected: ≥2x at 4 shards vs 1.
+2. **Does placement matter for the caches?**  A skewed trace (a few
+   hot kernels, many repeats) runs under round-robin and under
+   cache-affinity routing.  Affinity sends every repeat to the shard
+   that already compiled the kernel, so its warm hit rate must beat
+   round-robin's, which spreads a hot kernel across all N private
+   caches and re-pays the front end on each.
+
+Run:  python benchmarks/bench_service_scaling.py [--tiny]
+"""
+
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import print_table  # noqa: E402
+
+from repro import ReasonService  # noqa: E402
+from repro.hmm.model import HMM  # noqa: E402
+from repro.logic.generators import random_ksat, redundant_sat  # noqa: E402
+from repro.pc.learn import random_circuit  # noqa: E402
+
+
+def mixed_workload(num_kernels: int = 32, passes: int = 4, seed: int = 0):
+    """A request trace over ``num_kernels`` distinct mixed kernels.
+
+    ``passes`` repeats of the fleet, shuffled so neither kernel family
+    nor repeat index aligns with a shard stride — repeats keep per-shard
+    request counts high enough that round-robin placement balances the
+    heterogeneous symbolic times, and they exercise the warm caches the
+    way real serving traffic does.
+    """
+    kernels = []
+    for index in range(num_kernels):
+        family = index % 4
+        if family == 0:
+            kernels.append(redundant_sat(30, 110, seed=index)[0])
+        elif family == 1:
+            kernels.append(random_ksat(24, 85, seed=index))
+        elif family == 2:
+            kernels.append(random_circuit(5, depth=2, seed=index))
+        else:
+            kernels.append(HMM.random(3, 5, seed=index))
+    trace = kernels * passes
+    random.Random(seed).shuffle(trace)
+    return trace
+
+
+def skewed_trace(num_requests: int = 32, distinct: int = 3, seed: int = 1):
+    """Few hot kernels, many repeats, shuffled (the cache-bound case)."""
+    hot = [random_ksat(20, 70, seed=s) for s in range(distinct)]
+    trace = [hot[i % distinct] for i in range(num_requests)]
+    random.Random(seed).shuffle(trace)
+    return trace
+
+
+def serve(kernels, shards: int, policy: str, queries: int):
+    """Run the workload through a service; return (stats, wall_s)."""
+    start = time.perf_counter()
+    with ReasonService(shards=shards, policy=policy) as service:
+        for kernel in kernels:
+            service.submit(kernel, queries=queries, neural_s=0.0)
+        service.drain()
+        stats = service.stats()
+    return stats, time.perf_counter() - start
+
+
+def main() -> None:
+    tiny = "--tiny" in sys.argv
+    num_kernels = 32
+    queries = 200 if tiny else 2000
+
+    workload = mixed_workload(num_kernels)
+    rows = []
+    throughput = {}
+    for shards in (1, 2, 4):
+        stats, wall_s = serve(workload, shards, "round-robin", queries)
+        throughput[shards] = stats.throughput_rps
+        rows.append(
+            [
+                str(shards),
+                f"{stats.makespan_s * 1e3:8.3f}",
+                f"{stats.throughput_rps:12,.0f}",
+                f"{throughput[shards] / throughput[1]:5.2f}x",
+                f"{wall_s:6.2f}",
+            ]
+        )
+    print_table(
+        f"Shard scaling: {len(workload)} requests over {num_kernels} mixed "
+        f"kernels x {queries} queries (round-robin)",
+        ["shards", "makespan ms", "req/s (model)", "vs 1", "wall s"],
+        rows,
+    )
+    scaling = throughput[4] / throughput[1]
+    verdict = "PASS" if scaling >= 2.0 else "FAIL"
+    print(f"\n4-shard scaling: {scaling:.2f}x throughput vs 1 shard [{verdict}]")
+
+    trace = skewed_trace(num_kernels)
+    rows = []
+    hit_rates = {}
+    for policy in ("round-robin", "cache-affinity"):
+        stats, _ = serve(trace, 4, policy, queries)
+        hit_rates[policy] = stats.warm_hit_rate
+        rows.append(
+            [
+                policy,
+                f"{stats.warm_hit_rate:7.0%}",
+                str(sum(shard.prepare_calls for shard in stats.shards)),
+                f"{stats.makespan_s * 1e3:8.3f}",
+            ]
+        )
+    print_table(
+        f"Placement vs caches: skewed trace, {len(trace)} requests, 4 shards",
+        ["policy", "warm hits", "front-end runs", "makespan ms"],
+        rows,
+    )
+    affinity_wins = hit_rates["cache-affinity"] > hit_rates["round-robin"]
+    verdict = "PASS" if affinity_wins else "FAIL"
+    print(
+        f"\ncache-affinity hit rate {hit_rates['cache-affinity']:.0%} vs "
+        f"round-robin {hit_rates['round-robin']:.0%} [{verdict}]"
+    )
+    if scaling < 2.0 or not affinity_wins:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,17 +1,20 @@
 """End-to-end GPU+REASON pipeline (paper Sec. VI): the coprocessor
-programming model and batched session execution.
+programming model and sharded service execution.
 
 Runs a batch of mixed reasoning tasks two ways: through the Listing-1
 coprocessor interface (`reason_execute` / `reason_check_status`), and
-through `ReasonSession.run_batch`, which compiles each kernel once
-(content-hash cache), executes on the accelerator model, and schedules
-the batch through the two-level pipeline so the symbolic stage of task
-N overlaps the neural stage of task N+1.
+through `ReasonService.run_batch`, which shards the batch across
+accelerator instances (each with its own compile cache), executes on
+the accelerator model, and composes each shard's makespan through the
+two-level pipeline so the symbolic stage of task N overlaps the neural
+stage of task N+1 — and shards overlap each other.
 
 Run:  python examples/end_to_end_pipeline.py
 """
 
-from repro import ReasonSession
+import asyncio
+
+from repro import ReasonService
 from repro.baselines.device import RTX_A6000
 from repro.core.dag import circuit_to_dag
 from repro.core.system.coprocessor import ReasonCoprocessor, ReasoningMode
@@ -38,22 +41,29 @@ def main() -> None:
     record1 = coprocessor.reason_execute(1, 8, dag, ReasoningMode.PROBABILISTIC)
     print(f"batch 1 (8 queries): cycles={record1.cycles}, result={coprocessor.result_of(1):.4f}")
 
-    # The same idea through the session API: a mixed batch (SAT + PC
-    # kernels), neural stages on the GPU cost model, symbolic stages on
-    # REASON, scheduled through the two-level pipeline in one call.
-    session = ReasonSession()
+    # The same idea through the serving API: a mixed batch (SAT + PC
+    # kernels) sharded across two accelerator instances, neural stages
+    # on the GPU cost model, symbolic stages on REASON, each shard's
+    # makespan composed through the two-level pipeline.
     model = MODEL_ZOO["7B"]
     neural_s = RTX_A6000.run(model.generation_profiles(128, 16))
     kernels = [formula, random_circuit(6, depth=2, seed=2)] * 4
     queries = 500_000  # lift the miniature kernels to task-sized symbolic stages
-    batch = session.run_batch(kernels, backend="reason", queries=queries, neural_s=neural_s)
+    with ReasonService(shards=2, policy="cache-affinity") as service:
+        batch = asyncio.run(
+            service.run_batch(
+                kernels, backend="reason", queries=queries, neural_s=neural_s
+            )
+        )
     print(
-        f"\n{len(batch)}-task batch: serial {batch.serial_s:.3f}s vs pipelined "
-        f"{batch.total_s:.3f}s (saved {batch.overlap_saved_s:.3f}s)"
+        f"\n{len(batch)}-task batch: serial {batch.serial_s:.3f}s vs one pipelined "
+        f"shard {batch.single_shard_s:.3f}s vs {service.num_shards} shards "
+        f"{batch.total_s:.3f}s ({batch.speedup:.2f}x from sharding)"
     )
     print(
-        f"compile cache: {batch.cache_hits}/{batch.cache_hits + batch.cache_misses} "
-        f"hits ({batch.hit_rate:.0%} — each distinct kernel compiled once)"
+        f"compile caches: {batch.cache_hits}/{batch.cache_hits + batch.cache_misses} "
+        f"hits ({batch.hit_rate:.0%} — cache-affinity keeps each kernel on one "
+        f"warm shard)"
     )
 
 

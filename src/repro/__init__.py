@@ -21,39 +21,54 @@ Package map:
   sparsity);
 * :mod:`repro.api` — the public front door: :class:`ReasonSession`
   over pluggable kernel adapters and execution backends, with compile
-  caching and pipelined batch execution.
+  caching and pipelined batch execution, and :class:`ReasonService`
+  for async, sharded serving over many sessions.
 
 Quickstart::
 
-    from repro import ReasonSession
+    from repro import ReasonSession, ReasonService
 
     session = ReasonSession()
     report = session.run(kernel)  # CNF | Circuit | HMM | Dag
+
+    with ReasonService(shards=4, policy="cache-affinity") as service:
+        future = service.submit(kernel, queries=8)
+        report = future.result()
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     Backend,
     BatchResult,
     CompiledArtifact,
     ExecutionReport,
+    ReasonFuture,
+    ReasonService,
     ReasonSession,
     RunOptions,
+    ServiceBatchResult,
     list_backends,
+    list_policies,
     register_adapter,
     register_backend,
+    register_policy,
 )
 
 __all__ = [
     "__version__",
     "ReasonSession",
+    "ReasonService",
+    "ReasonFuture",
     "Backend",
     "ExecutionReport",
     "BatchResult",
+    "ServiceBatchResult",
     "CompiledArtifact",
     "RunOptions",
     "list_backends",
+    "list_policies",
     "register_adapter",
     "register_backend",
+    "register_policy",
 ]

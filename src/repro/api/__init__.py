@@ -1,12 +1,17 @@
 """Public API of the REASON reproduction: one session, any kernel, any
-backend.
+backend — and a sharded service when one session isn't enough.
 
 * :class:`ReasonSession` — facade over optimize → compile → execute
   with a content-hash compile cache and pipelined batch execution;
+* :class:`ReasonService` — async, sharded serving over N sessions:
+  bounded admission queues with backpressure, pluggable scheduling
+  policies, futures, and pipeline-composed throughput accounting;
 * :mod:`adapters` — the kernel-type registry (CNF, Circuit, HMM, Dag);
 * :mod:`backends` — the substrate registry (``reason``, ``software``,
   ``gpu``, ``cpu``, ``roofline``) sharing one :class:`ExecutionReport`;
-* :mod:`cache` — the content-addressed compile cache.
+* :mod:`scheduler` — the placement-policy registry (``round-robin``,
+  ``least-loaded``, ``cache-affinity``);
+* :mod:`cache` — the thread-safe content-addressed compile cache.
 """
 
 from repro.api.adapters import (
@@ -27,14 +32,40 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.cache import CacheStats, CompileCache, content_key
+from repro.api.futures import ReasonFuture, wait_all
+from repro.api.scheduler import (
+    CacheAffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    get_policy,
+    list_policies,
+    register_policy,
+)
+from repro.api.service import (
+    ReasonService,
+    ServiceBatchResult,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceStats,
+    ShardStats,
+)
 from repro.api.session import ReasonSession
 from repro.api.types import BatchResult, CompiledArtifact, ExecutionReport
 
 __all__ = [
     "ReasonSession",
+    "ReasonService",
+    "ReasonFuture",
+    "wait_all",
     "Backend",
     "ExecutionReport",
     "BatchResult",
+    "ServiceBatchResult",
+    "ServiceStats",
+    "ShardStats",
+    "ServiceClosed",
+    "ServiceOverloaded",
     "CompiledArtifact",
     "KernelAdapter",
     "RunOptions",
@@ -48,6 +79,13 @@ __all__ = [
     "get_backend",
     "list_backends",
     "register_backend",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "CacheAffinityPolicy",
+    "get_policy",
+    "list_policies",
+    "register_policy",
     "CompileCache",
     "CacheStats",
     "content_key",

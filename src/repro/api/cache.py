@@ -6,14 +6,20 @@ of repeated queries; execution replay is cheap.  The cache keys
 artifacts by a content hash of the kernel, the architecture config and
 the optimization options, so structurally identical requests compile
 once and replay many times — the serving pattern the ROADMAP targets.
+
+The cache is thread-safe: every operation (lookup, insert, eviction,
+stats accounting) happens under one reentrant lock, so a session — or a
+:class:`~repro.api.service.ReasonService` shard — can be shared across
+threads without corrupting the LRU order or the hit/miss counters.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.api.types import CompiledArtifact
 
@@ -54,7 +60,7 @@ class CacheStats:
 
 
 class CompileCache:
-    """LRU map from content key to :class:`CompiledArtifact`.
+    """Thread-safe LRU map from content key to :class:`CompiledArtifact`.
 
     ``capacity=None`` means unbounded (the default: artifacts are small
     relative to the kernels they were compiled from).
@@ -64,30 +70,51 @@ class CompileCache:
         if capacity is not None and capacity <= 0:
             raise ValueError("cache capacity must be positive (or None)")
         self.capacity = capacity
-        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
         self._entries: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
 
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the counters (safe to read while
+        other threads keep hitting the cache)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+            )
+
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[CompiledArtifact]:
-        artifact = self._entries.get(key)
-        if artifact is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return artifact
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return artifact
 
     def put(self, key: str, artifact: CompiledArtifact) -> None:
-        self._entries[key] = artifact
-        self._entries.move_to_end(key)
-        if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        # Caller holds the lock (put's over-capacity path).
+        self._entries.popitem(last=False)
+        self._stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,640 @@
+"""`ReasonService`: async, sharded serving on top of :class:`ReasonSession`.
+
+Where a session is one blocking object — one caller, one compile cache,
+one execution stream — a service is N of them behind an admission
+layer::
+
+    from repro import ReasonService
+
+    with ReasonService(shards=4, policy="cache-affinity") as service:
+        future = service.submit(kernel, queries=8)     # -> ReasonFuture
+        report = future.result()                       # ExecutionReport
+        batch = asyncio.run(service.run_batch(kernels, queries=8))
+
+Each shard owns a private :class:`ReasonSession` (its own compile
+cache) fed by a bounded admission queue and drained by a dedicated
+worker thread.  A pluggable :class:`~repro.api.scheduler.SchedulingPolicy`
+(round-robin, least-loaded, cache-affinity) places every request;
+admission applies backpressure — when the chosen shard's queue is full,
+``submit`` blocks (or raises :class:`ServiceOverloaded` after
+``timeout``), so producers can't outrun the accelerators unboundedly.
+
+Throughput accounting stays faithful to the paper's overlap model:
+each shard's completed work is composed through its own two-level
+GPU↔REASON pipeline, and the service makespan is the slowest shard's
+makespan (:func:`~repro.core.system.sharding.compose_shard_makespans`)
+— not wall time divided by N.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.cache import CacheStats
+from repro.api.futures import ReasonFuture
+from repro.api.scheduler import Request, SchedulingPolicy, ShardView, get_policy
+from repro.api.session import ReasonSession
+from repro.api.types import ExecutionReport
+from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.system.pipeline import PipelineResult
+from repro.core.system.sharding import ShardComposition, compose_shard_makespans
+
+
+class ServiceClosed(RuntimeError):
+    """Raised on submission to a service that has been closed."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised when admission times out on a full shard queue
+    (backpressure surfaced to the producer)."""
+
+
+_SENTINEL = object()  # shutdown marker on the admission queues
+
+
+@dataclass
+class _WorkItem:
+    kernel: object
+    options: RunOptions
+    backend: str
+    queries: int
+    neural_s: float
+    fingerprint: str  # computed at admission; reused for the cache lookup
+    future: ReasonFuture
+
+
+class _Shard:
+    """One accelerator instance: session + bounded queue + worker thread."""
+
+    def __init__(
+        self,
+        index: int,
+        session: ReasonSession,
+        max_queue: int,
+        stats_window: Optional[int],
+    ):
+        self.index = index
+        self.session = session
+        self.queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
+        self.lock = threading.Lock()
+        # Serializes enqueues against close()'s sentinel, so an admitted
+        # item can never land behind the shutdown marker and be orphaned.
+        self.submit_lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        # (neural_s, symbolic_s) per success; bounded so a long-lived
+        # service doesn't grow without limit and stats() stays cheap.
+        self.stage_times: "deque" = deque(maxlen=stats_window)
+        self.thread = threading.Thread(
+            target=self._work, name=f"reason-shard-{index}", daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def pending(self) -> int:
+        """Admitted but not yet terminal (queued or executing).
+
+        Derived from the counters under the lock — never from queue
+        internals — so ``submitted == completed + failed + cancelled +
+        pending`` holds at every observable instant.
+        """
+        with self.lock:
+            return self.submitted - self.completed - self.failed - self.cancelled
+
+    def _work(self) -> None:
+        while True:
+            item = self.queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                self._execute(item)
+            finally:
+                self.queue.task_done()
+
+    def _execute(self, item: _WorkItem) -> None:
+        if not item.future.set_running_or_notify_cancel():
+            with self.lock:  # cancelled while queued
+                self.cancelled += 1
+            return
+        try:
+            report = self.session.run_prepared(
+                item.kernel,
+                item.options,
+                backend=item.backend,
+                queries=item.queries,
+                fingerprint=item.fingerprint,
+            )
+        except BaseException as exc:
+            with self.lock:
+                self.failed += 1
+            item.future.set_exception(exc)
+        else:
+            with self.lock:
+                self.completed += 1
+                self.stage_times.append((item.neural_s, report.seconds))
+            item.future.set_result(report)
+
+
+@dataclass
+class ShardStats:
+    """Point-in-time accounting for one shard.
+
+    ``completed`` counts successful executions only; failures and
+    cancellations have their own counters, so
+    ``submitted == completed + failed + cancelled + pending``.
+    """
+
+    index: int
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    pending: int
+    retained: int  # successes inside the stats window (makespan basis)
+    prepare_calls: int
+    cache: CacheStats
+    makespan: PipelineResult
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide snapshot from :meth:`ReasonService.stats`."""
+
+    policy: str
+    shards: List[ShardStats]
+    composition: ShardComposition
+
+    @property
+    def submitted(self) -> int:
+        return sum(shard.submitted for shard in self.shards)
+
+    @property
+    def completed(self) -> int:
+        """Successfully executed requests (failures/cancels excluded)."""
+        return sum(shard.completed for shard in self.shards)
+
+    @property
+    def failed(self) -> int:
+        return sum(shard.failed for shard in self.shards)
+
+    @property
+    def cancelled(self) -> int:
+        return sum(shard.cancelled for shard in self.shards)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(shard.cache.hits for shard in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(shard.cache.misses for shard in self.shards)
+
+    @property
+    def warm_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Modeled service makespan: the slowest shard's pipeline."""
+        return self.composition.total_s
+
+    @property
+    def retained(self) -> int:
+        """Successes inside the stats window — the makespan's basis."""
+        return sum(shard.retained for shard in self.shards)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Modeled successfully-served requests per second of service
+        makespan.  Both numerator and makespan come from the retained
+        stats window, so the rate stays honest on long-lived services
+        whose all-time ``completed`` exceeds the window."""
+        return self.composition.throughput_rps(self.retained)
+
+
+@dataclass
+class ServiceBatchResult:
+    """Outcome of :meth:`ReasonService.run_batch`.
+
+    ``reports`` are in submission order; ``shard_indices[i]`` says where
+    request *i* ran.  Makespan accounting lives in ``composition`` (one
+    :class:`ShardComposition`); the ``total_s`` / ``single_shard_s`` /
+    ``serial_s`` / ``speedup`` properties delegate to it.
+    """
+
+    reports: List[ExecutionReport]
+    shard_indices: List[int]
+    composition: ShardComposition
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def per_shard(self) -> List[PipelineResult]:
+        return self.composition.per_shard
+
+    @property
+    def total_s(self) -> float:
+        """Sharded service makespan (slowest shard's pipeline)."""
+        return self.composition.total_s
+
+    @property
+    def single_shard_s(self) -> float:
+        """The same workload pipelined through one shard."""
+        return self.composition.single_shard_s
+
+    @property
+    def serial_s(self) -> float:
+        """The fully serialized (no-overlap) ablation."""
+        return self.composition.serial_s
+
+    @property
+    def neural_s(self) -> float:
+        return self.composition.neural_s
+
+    @property
+    def symbolic_s(self) -> float:
+        return self.composition.symbolic_s
+
+    @property
+    def speedup(self) -> float:
+        """Sharding gain over the one-shard pipelined baseline."""
+        return self.composition.speedup
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+class ReasonService:
+    """Sharded, asynchronous front door over N :class:`ReasonSession`\\ s.
+
+    Parameters
+    ----------
+    shards:
+        Number of accelerator instances (each with a private session
+        and compile cache).
+    policy:
+        Scheduling policy name (``round-robin`` | ``least-loaded`` |
+        ``cache-affinity``) or a :class:`SchedulingPolicy` instance.
+    config:
+        Architecture configuration shared by every shard.
+    cache / cache_capacity:
+        Forwarded to each shard's session.
+    max_queue:
+        Bound on each shard's admission queue — the backpressure knob.
+    stats_window:
+        How many recent successful requests each shard retains for the
+        makespan composition in :meth:`stats` (None = unbounded; the
+        default keeps memory and ``stats()`` cost constant on
+        long-lived services).
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        policy: Union[str, SchedulingPolicy] = "round-robin",
+        config: ArchConfig = DEFAULT_CONFIG,
+        cache: bool = True,
+        cache_capacity: Optional[int] = None,
+        max_queue: int = 128,
+        stats_window: Optional[int] = 65536,
+    ):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if max_queue < 1:
+            raise ValueError("admission queue must hold at least one request")
+        if stats_window is not None and stats_window < 1:
+            raise ValueError("stats_window must be positive (or None)")
+        self.config = config
+        self.policy = get_policy(policy)
+        self.max_queue = max_queue
+        self._cache_enabled = cache
+        self._shards = [
+            _Shard(
+                index,
+                ReasonSession(config=config, cache=cache, cache_capacity=cache_capacity),
+                max_queue,
+                stats_window,
+            )
+            for index in range(shards)
+        ]
+        self._closed = False
+        self._admission_lock = threading.Lock()  # serializes policy.select
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def session_of(self, shard_index: int) -> ReasonSession:
+        """The session owned by one shard (introspection/tests)."""
+        return self._shards[shard_index].session
+
+    def __enter__(self) -> "ReasonService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- admission
+
+    def submit(
+        self,
+        kernel: object,
+        backend: str = "reason",
+        queries: int = 1,
+        neural_s: float = 0.0,
+        timeout: Optional[float] = None,
+        **option_kwargs,
+    ) -> ReasonFuture:
+        """Admit one request; returns immediately with a future.
+
+        The policy picks a shard; if that shard's bounded queue is full,
+        the call blocks until space frees (backpressure).  ``timeout``
+        caps the wait — on expiry the request is rejected with
+        :class:`ServiceOverloaded` and no state changes.
+        """
+        return self._submit(
+            kernel, RunOptions(**option_kwargs), backend, queries, neural_s, timeout
+        )
+
+    def submit_batch(
+        self,
+        kernels: Sequence[object],
+        backend: str = "reason",
+        queries: int = 1,
+        neural_s: Union[float, Sequence[float]] = 0.0,
+        calibrations: Optional[Sequence] = None,
+        timeout: Optional[float] = None,
+        **option_kwargs,
+    ) -> List[ReasonFuture]:
+        """Admit many requests (options parsed once); one future each.
+
+        All-or-nothing on rejection: if a mid-batch submit fails (e.g.
+        :class:`ServiceOverloaded` under backpressure), the futures
+        already admitted are cancelled before the exception propagates,
+        so no orphaned work keeps burning shard time without a handle.
+        Requests a worker already started cannot be cancelled and will
+        run to completion.
+        """
+        kernels = list(kernels)
+        if isinstance(neural_s, (int, float)):
+            neural_times = [float(neural_s)] * len(kernels)
+        else:
+            neural_times = [float(t) for t in neural_s]
+            if len(neural_times) != len(kernels):
+                raise ValueError("need one neural_s per kernel")
+        if calibrations is not None and len(calibrations) != len(kernels):
+            raise ValueError("need one calibration entry per kernel")
+        base_options = RunOptions(**option_kwargs)
+        futures = []
+        try:
+            for index, kernel in enumerate(kernels):
+                options = base_options
+                if calibrations is not None:
+                    options = replace(base_options, calibration=calibrations[index])
+                futures.append(
+                    self._submit(
+                        kernel, options, backend, queries, neural_times[index], timeout
+                    )
+                )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return futures
+
+    def _submit(
+        self,
+        kernel: object,
+        options: RunOptions,
+        backend: str,
+        queries: int,
+        neural_s: float,
+        timeout: Optional[float],
+    ) -> ReasonFuture:
+        if self._closed:
+            raise ServiceClosed("cannot submit to a closed ReasonService")
+        if queries < 1:
+            raise ValueError("queries must be >= 1")
+        adapter = adapter_for(kernel)
+        fingerprint = adapter.fingerprint(kernel, options, self.config)
+        request = Request(
+            kernel=kernel,
+            options=options,
+            kind=adapter.kind,
+            fingerprint=fingerprint,
+            backend=backend,
+            queries=queries,
+            neural_s=float(neural_s),
+        )
+        with self._admission_lock:
+            views = [
+                ShardView(shard.index, shard.pending, shard.completed)
+                for shard in self._shards
+            ]
+            index = self.policy.select(request, views)
+        if not 0 <= index < len(self._shards):
+            raise IndexError(
+                f"policy {self.policy.name!r} chose shard {index} "
+                f"of {len(self._shards)}"
+            )
+        shard = self._shards[index]
+        future = ReasonFuture(
+            kind=adapter.kind,
+            fingerprint=fingerprint,
+            shard_index=index,
+            neural_s=float(neural_s),
+        )
+        item = _WorkItem(
+            kernel, options, backend, queries, float(neural_s), fingerprint, future
+        )
+        # The shard's submit lock orders this enqueue against close()'s
+        # shutdown sentinel: either we win and the worker serves the
+        # item before exiting, or close() wins and the re-check rejects
+        # us — an admitted future always resolves.  The timeout covers
+        # the whole admission (lock wait + queue wait), so a bounded
+        # submit stays bounded even while another producer is parked on
+        # this shard's full queue.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if not shard.submit_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        ):
+            raise ServiceOverloaded(
+                f"shard {index} admission blocked behind a full queue "
+                f"({self.max_queue} requests) for {timeout}s"
+            )
+        try:
+            if self._closed:
+                raise ServiceClosed("cannot submit to a closed ReasonService")
+            # Count the admission before the enqueue (rolled back on
+            # rejection) so the worker can never observe a completion
+            # for a request that isn't in `submitted` yet.
+            with shard.lock:
+                shard.submitted += 1
+            try:
+                remaining = (
+                    None if deadline is None else max(deadline - time.monotonic(), 0.0)
+                )
+                shard.queue.put(item, block=True, timeout=remaining)
+            except queue.Full:
+                with shard.lock:
+                    shard.submitted -= 1
+                raise ServiceOverloaded(
+                    f"shard {index} admission queue full "
+                    f"({self.max_queue} requests) after {timeout}s"
+                ) from None
+        finally:
+            shard.submit_lock.release()
+        return future
+
+    # ----------------------------------------------------------- execution
+
+    async def run_batch(
+        self,
+        kernels: Sequence[object],
+        backend: str = "reason",
+        queries: int = 1,
+        neural_s: Union[float, Sequence[float]] = 0.0,
+        calibrations: Optional[Sequence] = None,
+        timeout: Optional[float] = None,
+        **option_kwargs,
+    ) -> ServiceBatchResult:
+        """Admit a batch and await every report (asyncio coroutine).
+
+        The returned :class:`ServiceBatchResult` composes each shard's
+        completed stage times through its own two-level pipeline and
+        reports the sharded makespan next to the one-shard baseline.
+
+        Admission runs in a worker thread: when backpressure makes
+        ``submit`` block on a full shard queue, the event loop keeps
+        running other tasks instead of stalling.
+        """
+        futures = await asyncio.to_thread(
+            self.submit_batch,
+            kernels,
+            backend=backend,
+            queries=queries,
+            neural_s=neural_s,
+            calibrations=calibrations,
+            timeout=timeout,
+            **option_kwargs,
+        )
+        reports = list(
+            await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        )
+        return self._compose_batch(futures, reports)
+
+    def run_batch_sync(self, kernels: Sequence[object], **kwargs) -> ServiceBatchResult:
+        """Blocking convenience over :meth:`run_batch` for non-async
+        callers (scripts, benchmarks)."""
+        futures = self.submit_batch(kernels, **kwargs)
+        reports = [future.result() for future in futures]
+        return self._compose_batch(futures, reports)
+
+    def _compose_batch(
+        self, futures: Sequence[ReasonFuture], reports: Sequence[ExecutionReport]
+    ) -> ServiceBatchResult:
+        shard_tasks: Dict[int, List] = {shard.index: [] for shard in self._shards}
+        for future, report in zip(futures, reports):
+            shard_tasks[future.shard_index].append((future.neural_s, report.seconds))
+        composition = compose_shard_makespans(
+            [shard_tasks[shard.index] for shard in self._shards]
+        )
+        cache_hits = sum(1 for report in reports if report.cache_hit)
+        cache_misses = len(reports) - cache_hits if self._cache_enabled else 0
+        return ServiceBatchResult(
+            reports=list(reports),
+            shard_indices=[future.shard_index for future in futures],
+            composition=composition,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+
+    # ----------------------------------------------------------- lifecycle
+
+    def drain(self) -> None:
+        """Block until every admitted request has been executed."""
+        for shard in self._shards:
+            shard.queue.join()
+
+    def stats(self) -> ServiceStats:
+        """Snapshot per-shard counters and the composed makespans.
+
+        Makespans are composed over each shard's retained stage-time
+        history (the most recent ``stats_window`` successes), so on a
+        long-lived service they describe recent traffic, not all
+        traffic ever served.
+        """
+        snapshots = []
+        shard_tasks = []
+        for shard in self._shards:
+            with shard.lock:
+                counters = (
+                    shard.submitted,
+                    shard.completed,
+                    shard.failed,
+                    shard.cancelled,
+                )
+                times = list(shard.stage_times)
+            shard_tasks.append(times)
+            snapshots.append((shard, counters, len(times)))
+        composition = compose_shard_makespans(shard_tasks)
+        stats = []
+        for (shard, counters, retained), makespan in zip(
+            snapshots, composition.per_shard
+        ):
+            submitted, completed, failed, cancelled = counters
+            stats.append(
+                ShardStats(
+                    index=shard.index,
+                    submitted=submitted,
+                    completed=completed,
+                    failed=failed,
+                    cancelled=cancelled,
+                    # From the same snapshot as the other counters, so
+                    # the accounting identity holds within one report.
+                    pending=submitted - completed - failed - cancelled,
+                    retained=retained,
+                    prepare_calls=shard.session.prepare_calls,
+                    cache=shard.session.cache_stats,
+                    makespan=makespan,
+                )
+            )
+        return ServiceStats(
+            policy=self.policy.name, shards=stats, composition=composition
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admission, let workers finish queued work, join them."""
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            # Taking the submit lock waits out any in-progress enqueue,
+            # so the sentinel is guaranteed to be the queue's last item.
+            with shard.submit_lock:
+                shard.queue.put(_SENTINEL)
+        if wait:
+            for shard in self._shards:
+                shard.thread.join()

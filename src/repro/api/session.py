@@ -14,12 +14,17 @@ Dag out of the box), execute on any registered backend (``reason``,
 ``software``, ``gpu``, ``cpu``, ``roofline``), and compiled artifacts
 are cached by content hash: structurally identical requests pay the
 offline front end once and replay from the cache thereafter.
+
+For concurrent, sharded serving on top of many sessions, see
+:class:`repro.api.service.ReasonService`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.adapters import RunOptions, adapter_for
 from repro.api.backends import Backend, get_backend, list_backends
@@ -54,8 +59,13 @@ class ReasonSession:
         )
         self._backends: Dict[str, Backend] = {}
         self._prepare_calls = 0
+        self._lock = threading.Lock()  # guards _backends and _prepare_calls
 
     # ------------------------------------------------------------ plumbing
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -80,10 +90,12 @@ class ReasonSession:
             self._cache.clear()
 
     def _backend(self, name: str) -> Backend:
-        backend = self._backends.get(name)
+        with self._lock:
+            backend = self._backends.get(name)
         if backend is None:
             backend = get_backend(name)
-            self._backends[name] = backend
+            with self._lock:
+                self._backends.setdefault(name, backend)
         return backend
 
     # ------------------------------------------------------------- compile
@@ -95,21 +107,36 @@ class ReasonSession:
         runs optimization + compilation (or CDCL solve + trace record
         for logic kernels) and stores the result.
         """
-        options = RunOptions(**option_kwargs)
+        artifact, _ = self._compile(kernel, RunOptions(**option_kwargs))
+        return artifact
+
+    def _compile(
+        self, kernel: object, options: RunOptions, key: Optional[str] = None
+    ) -> Tuple[CompiledArtifact, bool]:
+        """Compile (or fetch) with already-parsed options.
+
+        Returns ``(artifact, cache_hit)`` — the hit flag comes from this
+        lookup itself, not from a stats delta, so concurrent callers on
+        a shared session can't misattribute each other's hits.  ``key``
+        accepts a precomputed fingerprint for this (kernel, options,
+        config) so serving layers don't hash the kernel twice.
+        """
         adapter = adapter_for(kernel)
-        key = adapter.fingerprint(kernel, options, self.config)
+        if key is None:
+            key = adapter.fingerprint(kernel, options, self.config)
         if self._cache is not None:
             cached = self._cache.get(key)
             if cached is not None:
-                return cached
+                return cached, True
         start = time.perf_counter()
         artifact = adapter.prepare(kernel, options, self.config)
         artifact.compile_s = time.perf_counter() - start
         artifact.key = key
-        self._prepare_calls += 1
+        with self._lock:
+            self._prepare_calls += 1
         if self._cache is not None:
             self._cache.put(key, artifact)
-        return artifact
+        return artifact, False
 
     # ----------------------------------------------------------------- run
 
@@ -128,12 +155,31 @@ class ReasonSession:
         ``hmm_observations``, ``record_events``) feed the front end;
         see :class:`repro.api.adapters.RunOptions`.
         """
+        return self.run_prepared(
+            kernel, RunOptions(**option_kwargs), backend=backend, queries=queries
+        )
+
+    def run_prepared(
+        self,
+        kernel: object,
+        options: RunOptions,
+        backend: str = "reason",
+        queries: int = 1,
+        fingerprint: Optional[str] = None,
+    ) -> ExecutionReport:
+        """:meth:`run` with an already-constructed :class:`RunOptions`.
+
+        This is the single compile+execute path: ``run``, ``run_batch``
+        and the service shards all funnel through it, so option
+        validation happens exactly once per request instead of once per
+        entry point.  ``fingerprint`` optionally passes the cache key
+        the caller already computed for this (kernel, options) against
+        this session's config (the service computes it at admission for
+        cache-affinity routing), skipping a second content hash.
+        """
         if queries < 1:
             raise ValueError("queries must be >= 1")
-        options = RunOptions(**option_kwargs)
-        hits_before = self.cache_stats.hits
-        artifact = self.compile(kernel, **option_kwargs)
-        cache_hit = self.cache_stats.hits > hits_before
+        artifact, cache_hit = self._compile(kernel, options, key=fingerprint)
         report = self._backend(backend).run(
             artifact, config=self.config, queries=queries, options=options
         )
@@ -171,15 +217,20 @@ class ReasonSession:
         if calibrations is not None and len(calibrations) != len(kernels):
             raise ValueError("need one calibration entry per kernel")
 
-        hits_before = self.cache_stats.hits
-        misses_before = self.cache_stats.misses
+        # Parse the shared options exactly once; per-kernel calibrations
+        # derive from the base instead of re-validating every kwarg.
+        base_options = RunOptions(**option_kwargs)
         reports = []
         for index, kernel in enumerate(kernels):
-            kwargs = dict(option_kwargs)
+            options = base_options
             if calibrations is not None:
-                kwargs["calibration"] = calibrations[index]
-            reports.append(self.run(kernel, backend=backend, queries=queries, **kwargs))
+                options = replace(base_options, calibration=calibrations[index])
+            reports.append(
+                self.run_prepared(kernel, options, backend=backend, queries=queries)
+            )
 
+        cache_hits = sum(1 for report in reports if report.cache_hit)
+        cache_misses = len(reports) - cache_hits if self._cache is not None else 0
         symbolic_times = [report.seconds for report in reports]
         pipeline = TwoLevelPipeline()
         overlapped = pipeline.run(neural_times, symbolic_times, pipelined=pipelined)
@@ -191,18 +242,24 @@ class ReasonSession:
             neural_s=overlapped.neural_s,
             symbolic_s=overlapped.symbolic_s,
             overlap_saved_s=overlapped.overlap_saved_s,
-            cache_hits=self.cache_stats.hits - hits_before,
-            cache_misses=self.cache_stats.misses - misses_before,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     # -------------------------------------------------------- cross-checks
 
     def cross_check(
-        self, kernel: object, backends: Optional[Sequence[str]] = None, **option_kwargs
+        self,
+        kernel: object,
+        backends: Optional[Sequence[str]] = None,
+        queries: int = 1,
+        **option_kwargs,
     ) -> Dict[str, ExecutionReport]:
         """Run one kernel on several backends (default: all registered)
         and return the reports keyed by backend name."""
         names = list(backends) if backends is not None else self.backends()
+        options = RunOptions(**option_kwargs)
         return {
-            name: self.run(kernel, backend=name, **option_kwargs) for name in names
+            name: self.run_prepared(kernel, options, backend=name, queries=queries)
+            for name in names
         }

@@ -15,8 +15,8 @@ DAGs well but lacks REASON's symbolic machinery.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 
 class KernelClass(enum.Enum):

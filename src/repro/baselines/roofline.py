@@ -9,9 +9,9 @@ symbolic and probabilistic kernels sit far left on the intensity axis
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.baselines.device import DeviceModel, KernelClass, KernelProfile
+from repro.baselines.device import DeviceModel, KernelProfile
 
 
 @dataclass(frozen=True)

@@ -17,17 +17,17 @@ Two execution paths mirror the paper's two kernel families:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.arch.bcp_fifo import BcpFifo
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
-from repro.core.arch.energy import EnergyModel, TechNode
+from repro.core.arch.energy import EnergyModel
 from repro.core.arch.interconnect import Topology, broadcast_cycles
 from repro.core.arch.memory import DmaEngine, Scratchpad, SramBanks
 from repro.core.arch.tree_pe import PEMode, TreePE
 from repro.core.arch.watched_literals import WatchedLiteralsUnit
 from repro.core.compiler.program import InstructionKind, Program
-from repro.logic.cdcl import CDCLSolver, TraceEvent
+from repro.logic.cdcl import CDCLSolver
 from repro.logic.cnf import CNF
 
 

@@ -9,7 +9,7 @@ the ablation switches used by the evaluation benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 

@@ -9,8 +9,8 @@ values themselves live in the functional layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.arch.config import ArchConfig
 from repro.core.arch.energy import EnergyModel

@@ -12,8 +12,8 @@ once the pipeline is full.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.arch.config import ArchConfig
 from repro.core.arch.energy import EnergyModel

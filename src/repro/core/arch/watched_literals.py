@@ -13,8 +13,8 @@ paper attributes to the memory layout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.arch.config import ArchConfig
 from repro.core.arch.memory import SramBanks

@@ -11,9 +11,9 @@ registers once).  Each block then maps onto one tree-PE issue.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.core.dag.graph import Dag, DagNode, OpType
+from repro.core.dag.graph import Dag, OpType
 
 _LEAF_OPS = {OpType.LITERAL, OpType.LEAF, OpType.INPUT}
 

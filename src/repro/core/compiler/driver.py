@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
-from repro.core.compiler.blocks import Block, decompose_blocks
-from repro.core.compiler.mapping import BankAssignment, map_operands_to_banks
+from repro.core.compiler.blocks import decompose_blocks
+from repro.core.compiler.mapping import map_operands_to_banks
 from repro.core.compiler.program import Program
 from repro.core.compiler.schedule import ScheduleStats, schedule_program
 from repro.core.dag.graph import Dag

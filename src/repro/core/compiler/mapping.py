@@ -12,7 +12,7 @@ traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.core.compiler.blocks import Block
 from repro.core.dag.graph import Dag

@@ -16,18 +16,13 @@ memory (SPILL) and reloaded lazily (RELOAD).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.arch.config import ArchConfig
 from repro.core.compiler.blocks import Block, block_dependencies, topological_block_order
 from repro.core.compiler.mapping import BankAssignment, issue_conflicts
-from repro.core.compiler.program import (
-    InstructionKind,
-    Program,
-    TreeNodeConfig,
-    VLIWInstruction,
-)
+from repro.core.compiler.program import InstructionKind, Program, VLIWInstruction
 from repro.core.compiler.tree_map import TreePlacement, map_block_to_tree
 from repro.core.dag.graph import Dag, OpType
 

@@ -11,7 +11,7 @@ matching the node microarchitecture's multiply-accumulate datapath.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.compiler.blocks import Block
 from repro.core.compiler.program import TreeNodeConfig

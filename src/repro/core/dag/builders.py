@@ -10,13 +10,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.hmm.model import HMM
 from repro.logic.cnf import CNF
-from repro.core.dag.graph import Dag, DagNode, OpType
+from repro.core.dag.graph import Dag, OpType
 from repro.pc.circuit import (
     Circuit,
     CircuitNode,

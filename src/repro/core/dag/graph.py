@@ -15,7 +15,6 @@ execution model REASON's compiler schedules onto tree PEs.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 

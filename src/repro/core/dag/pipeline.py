@@ -8,13 +8,12 @@ compiler for binary generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 from repro.core.dag.builders import circuit_to_dag, cnf_to_dag, hmm_to_dag
 from repro.core.dag.graph import Dag
 from repro.core.dag.pruning import (
-    FlowPruneReport,
     prune_circuit_by_flow,
     prune_hmm_by_posterior,
     prune_logic_dag,
@@ -23,7 +22,6 @@ from repro.core.dag.regularize import regularize_two_input
 from repro.hmm.model import HMM
 from repro.logic.cnf import CNF
 from repro.pc.circuit import Circuit
-from repro.pc.inference import Evidence
 
 
 @dataclass

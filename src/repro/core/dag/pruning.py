@@ -10,12 +10,12 @@ expected transition usage from forward-backward posteriors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dag.builders import circuit_to_dag, cnf_to_dag
+from repro.core.dag.builders import cnf_to_dag
 from repro.core.dag.graph import Dag
 from repro.hmm.inference import transition_posteriors
 from repro.hmm.model import HMM

@@ -10,9 +10,9 @@ every kernel the same shape as REASON's binary tree PEs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
-from repro.core.dag.graph import Dag, DagNode, OpType
+from repro.core.dag.graph import Dag, OpType
 
 # Ops where an n-ary node equals a balanced tree of 2-ary nodes.
 _ASSOCIATIVE = {OpType.OR, OpType.AND, OpType.SUM, OpType.PRODUCT}

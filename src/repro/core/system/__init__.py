@@ -7,6 +7,8 @@
 * :mod:`pipeline` — the two-level execution pipeline: GPU↔REASON task
   overlap plus intra-REASON pipelining, and the end-to-end latency
   model used by the evaluation benchmarks;
+* :mod:`sharding` — shard-level composition of per-instance pipelines
+  into service makespans (the model behind ``ReasonService`` stats);
 * :mod:`runner` — executing workload kernels on the accelerator model.
 """
 
@@ -22,6 +24,7 @@ from repro.core.system.pipeline import (
     baseline_end_to_end,
     reason_end_to_end,
 )
+from repro.core.system.sharding import ShardComposition, compose_shard_makespans
 from repro.core.system.runner import time_kernel_on_reason, ReasonTiming
 
 __all__ = [
@@ -34,6 +37,8 @@ __all__ = [
     "PipelineResult",
     "baseline_end_to_end",
     "reason_end_to_end",
+    "ShardComposition",
+    "compose_shard_makespans",
     "time_kernel_on_reason",
     "ReasonTiming",
 ]

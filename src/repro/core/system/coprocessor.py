@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Tuple, Union
 
 from repro.core.arch.accelerator import ReasonAccelerator
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG

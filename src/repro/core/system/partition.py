@@ -9,7 +9,6 @@ covers every workload.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.baselines.device import KernelClass, KernelProfile

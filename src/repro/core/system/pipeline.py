@@ -19,8 +19,8 @@ The end-to-end helpers encode the evaluation's comparison structure:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.baselines.device import DeviceModel, KernelProfile
 from repro.core.system.runner import ReasonTiming

@@ -11,12 +11,11 @@ constraint by construction.
 from __future__ import annotations
 
 import random as _random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hmm.inference import forward
 from repro.hmm.model import HMM
 
 

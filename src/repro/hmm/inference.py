@@ -8,7 +8,7 @@ traversals of the paper's Fig. 5.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

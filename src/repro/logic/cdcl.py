@@ -16,8 +16,8 @@ architecture simulator replays cycle by cycle.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logic.cnf import CNF, Literal, var_of
 

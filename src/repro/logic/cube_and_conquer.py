@@ -11,8 +11,8 @@ tree PEs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.logic.cdcl import CDCLSolver, SolveResult
 from repro.logic.cnf import CNF, Literal

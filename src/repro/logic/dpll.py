@@ -11,7 +11,7 @@ hardware simulator is validated against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.logic.cnf import CNF, Literal, var_of
 

@@ -8,10 +8,10 @@ This is the deduction engine used by the AlphaGeometry-style workload
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
-from repro.logic.fol.terms import Const, Func, Predicate, Term, Var
+from repro.logic.fol.terms import Const, Predicate, Term, Var
 from repro.logic.fol.unification import (
     Substitution,
     substitute_predicate,

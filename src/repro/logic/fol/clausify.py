@@ -10,9 +10,8 @@ lowered to a propositional :class:`~repro.logic.cnf.CNF` for SAT solving.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.logic.cnf import CNF
 from repro.logic.fol.terms import (

@@ -13,15 +13,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.logic.fol.clausify import FOLClause, FOLLiteral, clausify_all
 from repro.logic.fol.terms import Formula, Not, Predicate, Var
-from repro.logic.fol.unification import (
-    Substitution,
-    substitute_predicate,
-    unify_predicates,
-)
+from repro.logic.fol.unification import substitute_predicate, unify_predicates
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,9 @@ by deleting an edge is bounded by its mean flow.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
-from repro.pc.circuit import Circuit, CircuitNode, LeafNode, ProductNode, SumNode
+from repro.pc.circuit import Circuit, ProductNode, SumNode
 from repro.pc.inference import Evidence, _evaluate_all
 
 EdgeKey = Tuple[int, int]  # (parent node_id, child node_id)

@@ -9,7 +9,7 @@ learning and pruning share one machinery.
 from __future__ import annotations
 
 import random as _random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

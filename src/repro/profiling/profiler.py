@@ -8,13 +8,13 @@ symbolic kernels on a device cost model and reports the split
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
-from repro.baselines.device import DeviceModel, KernelProfile
-from repro.workloads.base import NeuroSymbolicWorkload, TaskInstance
+from repro.baselines.device import DeviceModel
+from repro.workloads.base import NeuroSymbolicWorkload
 
 
 @dataclass

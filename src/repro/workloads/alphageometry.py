@@ -19,7 +19,7 @@ from repro.baselines.device import KernelClass, KernelProfile
 from repro.logic.cnf import CNF
 from repro.logic.fol.chase import ForwardChainer
 from repro.logic.fol.terms import Predicate
-from repro.logic.generators import planted_sat, redundant_sat
+from repro.logic.generators import redundant_sat
 from repro.workloads.base import NeuroSymbolicWorkload, TaskInstance, WorkloadResult
 from repro.workloads.datasets import DeductionProblem, generate_deduction_problem
 

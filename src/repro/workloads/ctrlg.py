@@ -11,9 +11,8 @@ reflects.
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.baselines.device import KernelClass, KernelProfile
 from repro.hmm.constrained import DFAConstraint, constrained_decode

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 from repro.logic.fol.chase import HornRule
 from repro.logic.fol.terms import Const, Predicate, Var

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import random
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.baselines.device import KernelClass, KernelProfile
 from repro.hmm.constrained import DFAConstraint, constrained_decode

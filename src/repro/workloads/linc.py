@@ -12,7 +12,7 @@ parse quality and prover completeness — LINC's actual failure modes.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.baselines.device import KernelClass, KernelProfile
 from repro.logic.cnf import CNF

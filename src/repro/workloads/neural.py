@@ -11,7 +11,7 @@ can time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.baselines.device import KernelClass, KernelProfile
 

@@ -10,8 +10,7 @@ decision.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.device import KernelClass, KernelProfile
 from repro.pc.circuit import Circuit, ProductNode, bernoulli_leaf

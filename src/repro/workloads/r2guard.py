@@ -10,8 +10,7 @@ experiment for this workload.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.baselines.device import KernelClass, KernelProfile
 from repro.hmm.model import HMM

@@ -1,5 +1,7 @@
-"""Compile-cache semantics: hits, misses, eviction, and the session's
-compile-once/replay-many behavior."""
+"""Compile-cache semantics: hits, misses, eviction, thread safety, and
+the session's compile-once/replay-many behavior."""
+
+import threading
 
 import pytest
 
@@ -39,6 +41,47 @@ class TestCompileCache:
         # ("ab", "c") must not collide with ("a", "bc").
         assert content_key("ab", "c") != content_key("a", "bc")
         assert content_key(b"raw") != content_key("raw")
+
+    def test_stats_snapshot_is_stable(self):
+        cache = CompileCache()
+        cache.get("missing")
+        snapshot = cache.stats
+        cache.put("k", _artifact("k"))
+        cache.get("k")
+        assert snapshot.misses == 1 and snapshot.hits == 0  # unchanged copy
+        assert cache.stats.hits == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_keeps_counters_consistent(self):
+        """Shards (and shared sessions) hammer one cache from many
+        threads; counters and the LRU bound must stay coherent."""
+        cache = CompileCache(capacity=8)
+        keys = [f"key-{n}" for n in range(16)]
+        lookups_per_thread = 300
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for step in range(lookups_per_thread):
+                    key = keys[(seed * 7 + step) % len(keys)]
+                    if cache.get(key) is None:
+                        cache.put(key, _artifact(key))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = cache.stats
+        assert stats.lookups == 8 * lookups_per_thread
+        assert stats.hits + stats.misses == stats.lookups
+        assert len(cache) <= 8
+        assert stats.evictions > 0  # 16 keys through a capacity-8 cache
 
 
 class TestSessionCaching:

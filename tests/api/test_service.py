@@ -1,0 +1,354 @@
+"""ReasonService: admission, futures, sharding, backpressure, stats."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import ReasonService, ReasonSession
+from repro.api import (
+    ServiceBatchResult,
+    ServiceClosed,
+    ServiceOverloaded,
+    register_backend,
+)
+from repro.api.backends import Backend
+from repro.api.scheduler import SchedulingPolicy
+from repro.api.types import ExecutionReport
+from repro.hmm.model import HMM
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit
+
+
+def mixed_kernels():
+    return [
+        random_ksat(10, 30, seed=0),
+        random_circuit(4, depth=2, seed=1),
+        HMM.random(3, 4, seed=2),
+        random_ksat(12, 40, seed=3),
+    ]
+
+
+class GateBackend(Backend):
+    """Test backend that blocks every run until released (deterministic
+    backpressure/cancellation scenarios)."""
+
+    name = "test-gate"
+    gate = threading.Event()
+
+    def run(self, artifact, config=None, queries=1, options=None):
+        GateBackend.gate.wait(timeout=10.0)
+        return ExecutionReport(
+            backend=self.name, kernel=artifact.kind, result=1.0, cycles=1, seconds=1e-6
+        )
+
+
+register_backend("test-gate", GateBackend)
+
+
+class TestSubmit:
+    def test_future_resolves_to_report(self):
+        with ReasonService(shards=2) as service:
+            future = service.submit(random_ksat(10, 30, seed=4), queries=5)
+            report = future.result(timeout=30)
+        assert report.result in (0.0, 1.0)
+        assert report.queries == 5
+        assert future.kind == "cnf"
+        assert 0 <= future.shard_index < 2
+        assert future.fingerprint
+
+    def test_results_bit_identical_to_synchronous_session(self):
+        kernels = mixed_kernels()
+        session = ReasonSession()
+        with ReasonService(shards=4) as service:
+            futures = [service.submit(k, queries=7) for k in kernels]
+            reports = [f.result(timeout=30) for f in futures]
+        for kernel, served in zip(kernels, reports):
+            sync = session.run(kernel, queries=7)
+            assert served.result == sync.result
+            assert served.cycles == sync.cycles
+            assert served.seconds == sync.seconds
+            assert served.energy_j == sync.energy_j
+
+    def test_submit_after_close_rejected(self):
+        service = ReasonService(shards=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(random_ksat(8, 24, seed=5))
+        service.close()  # idempotent
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ReasonService(shards=0)
+        with pytest.raises(ValueError):
+            ReasonService(shards=1, max_queue=0)
+        with pytest.raises(KeyError):
+            ReasonService(shards=1, policy="no-such-policy")
+
+    def test_invalid_queries_rejected_at_admission(self):
+        with ReasonService(shards=1) as service:
+            with pytest.raises(ValueError):
+                service.submit(random_ksat(8, 24, seed=6), queries=0)
+
+    def test_execution_error_lands_on_the_future(self):
+        with ReasonService(shards=1) as service:
+            bad = service.submit(random_ksat(8, 24, seed=7), backend="no-such")
+            with pytest.raises(KeyError):
+                bad.result(timeout=30)
+            # The shard survives a failed request and keeps serving;
+            # failures are not counted as completions.
+            good = service.submit(random_ksat(8, 24, seed=7))
+            assert good.result(timeout=30).result in (0.0, 1.0)
+            service.drain()
+            stats = service.stats()
+            assert stats.failed == 1 and stats.completed == 1
+            assert stats.submitted == 2
+
+
+def wait_until_running(future, timeout_s: float = 10.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while not future.running():
+        assert time.monotonic() < deadline, "worker never picked up the request"
+        time.sleep(0.001)
+
+
+class TestBackpressure:
+    def test_full_queue_times_out_with_service_overloaded(self):
+        GateBackend.gate.clear()
+        kernel = random_ksat(8, 24, seed=8)
+        service = ReasonService(shards=1, max_queue=1)
+        try:
+            running = service.submit(kernel, backend="test-gate")
+            # Wait until the worker dequeues the first item so the
+            # single queue slot frees deterministically.
+            wait_until_running(running)
+            queued = service.submit(kernel, backend="test-gate")
+            with pytest.raises(ServiceOverloaded):
+                service.submit(kernel, backend="test-gate", timeout=0.0)
+        finally:
+            GateBackend.gate.set()
+            service.close()
+        assert running.result(timeout=30).result == 1.0
+        assert queued.result(timeout=30).result == 1.0
+
+    def test_timeout_covers_lock_wait_behind_parked_producer(self):
+        """A bounded submit must reject promptly even while another
+        producer blocks inside the same shard's admission (holding the
+        submit lock on a full queue)."""
+        import time
+
+        GateBackend.gate.clear()
+        kernel = random_ksat(8, 24, seed=30)
+        service = ReasonService(shards=1, max_queue=1)
+        try:
+            running = service.submit(kernel, backend="test-gate")
+            wait_until_running(running)
+            queued = service.submit(kernel, backend="test-gate")  # fills the queue
+
+            parked = threading.Thread(
+                target=lambda: service.submit(kernel, backend="test-gate")
+            )
+            parked.start()  # blocks in queue.put holding submit_lock
+            time.sleep(0.05)
+
+            start = time.monotonic()
+            with pytest.raises(ServiceOverloaded):
+                service.submit(kernel, backend="test-gate", timeout=0.1)
+            assert time.monotonic() - start < 5.0  # bounded, not forever
+        finally:
+            GateBackend.gate.set()
+            parked.join(timeout=30)
+            service.close()
+        assert running.result(timeout=30).result == 1.0
+        assert queued.result(timeout=30).result == 1.0
+
+    def test_submit_batch_cancels_admitted_work_on_rejection(self):
+        GateBackend.gate.clear()
+        kernel = random_ksat(8, 24, seed=31)
+        service = ReasonService(shards=1, max_queue=1)
+        try:
+            running = service.submit(kernel, backend="test-gate")
+            wait_until_running(running)
+            # Slot 1 of the batch fills the queue; slot 2 is rejected at
+            # timeout=0 — the already-admitted slot-1 future must come
+            # back cancelled instead of leaking into the shard.
+            with pytest.raises(ServiceOverloaded):
+                service.submit_batch([kernel] * 2, backend="test-gate", timeout=0.0)
+        finally:
+            GateBackend.gate.set()
+            service.close()
+        assert running.result(timeout=30).result == 1.0
+        stats = service.stats()
+        assert stats.cancelled == 1 and stats.completed == 1
+
+    def test_queued_request_can_be_cancelled(self):
+        GateBackend.gate.clear()
+        kernel = random_ksat(8, 24, seed=9)
+        service = ReasonService(shards=1, max_queue=4)
+        try:
+            running = service.submit(kernel, backend="test-gate")
+            wait_until_running(running)
+            queued = service.submit(kernel, backend="test-gate")
+            assert queued.cancel()
+        finally:
+            GateBackend.gate.set()
+            service.close()
+        assert running.result(timeout=30).result == 1.0
+        assert queued.cancelled()
+        stats = service.stats()
+        assert stats.cancelled == 1 and stats.completed == 1
+        # The accounting identity every monitoring consumer relies on:
+        assert stats.submitted == stats.completed + stats.failed + stats.cancelled
+
+
+class TestSharding:
+    def test_shards_own_private_caches(self):
+        kernel = random_ksat(10, 30, seed=10)
+        with ReasonService(shards=2, policy="round-robin") as service:
+            for _ in range(4):  # round-robin alternates shards
+                service.submit(kernel)
+            service.drain()
+            assert service.session_of(0).prepare_calls == 1
+            assert service.session_of(1).prepare_calls == 1
+            stats = service.stats()
+        assert stats.cache_misses == 2 and stats.cache_hits == 2
+
+    def test_cache_affinity_pins_identical_requests_to_one_shard(self):
+        kernel = random_ksat(10, 30, seed=11)
+        with ReasonService(shards=4, policy="cache-affinity") as service:
+            futures = [service.submit(kernel) for _ in range(6)]
+            reports = [f.result(timeout=30) for f in futures]
+        assert len({f.shard_index for f in futures}) == 1
+        assert sum(1 for r in reports if r.cache_hit) == 5
+
+    def test_affinity_beats_round_robin_on_skewed_trace(self):
+        """Acceptance: strictly higher warm hit rate on repeated kernels."""
+        distinct = [random_ksat(10, 30, seed=s) for s in (12, 13, 14)]
+        trace = distinct * 8  # 24 requests; positions of each kernel
+        # sweep all 4 shard residues under round-robin
+        rates = {}
+        for policy in ("round-robin", "cache-affinity"):
+            with ReasonService(shards=4, policy=policy) as service:
+                for kernel in trace:
+                    service.submit(kernel)
+                service.drain()
+                rates[policy] = service.stats().warm_hit_rate
+        assert rates["cache-affinity"] > rates["round-robin"]
+
+    def test_custom_policy_instance(self):
+        class PinToZero(SchedulingPolicy):
+            name = "pin-zero"
+
+            def select(self, request, shards):
+                return 0
+
+        with ReasonService(shards=3, policy=PinToZero()) as service:
+            futures = [service.submit(k) for k in mixed_kernels()]
+            service.drain()
+        assert all(f.shard_index == 0 for f in futures)
+
+
+class TestRunBatch:
+    def test_async_run_batch_returns_composed_result(self):
+        kernels = mixed_kernels() * 2
+        with ReasonService(shards=2, policy="round-robin") as service:
+            batch = asyncio.run(
+                service.run_batch(kernels, queries=100, neural_s=1e-5)
+            )
+        assert isinstance(batch, ServiceBatchResult)
+        assert len(batch) == len(kernels)
+        assert [r.kernel for r in batch.reports[:4]] == ["cnf", "circuit", "hmm", "cnf"]
+        assert batch.shard_indices == [0, 1] * 4
+        # Sharded makespan can't exceed the one-shard pipeline, which
+        # can't exceed strictly serial execution.
+        assert batch.total_s <= batch.single_shard_s <= batch.serial_s
+        assert batch.speedup >= 1.0
+        # 4 distinct kernels, each twice, and round-robin on 2 shards
+        # sends both copies to the same shard: one miss + one hit each.
+        assert batch.cache_hits == 4 and batch.cache_misses == 4
+
+    def test_sync_wrapper_matches_async(self):
+        kernels = [random_ksat(10, 30, seed=15)] * 4
+        with ReasonService(shards=2) as service:
+            sync_batch = service.run_batch_sync(kernels, queries=50)
+            async_batch = asyncio.run(service.run_batch(kernels, queries=50))
+        assert sync_batch.total_s == async_batch.total_s
+        assert [r.result for r in sync_batch.reports] == [
+            r.result for r in async_batch.reports
+        ]
+
+    def test_futures_are_awaitable(self):
+        async def roundtrip(service, kernel):
+            return await service.submit(kernel, queries=3)
+
+        with ReasonService(shards=1) as service:
+            report = asyncio.run(roundtrip(service, random_ksat(10, 30, seed=16)))
+        assert report.queries == 3
+
+    def test_batch_validation(self):
+        with ReasonService(shards=1) as service:
+            kernels = [random_ksat(8, 24, seed=17)] * 2
+            with pytest.raises(ValueError):
+                service.submit_batch(kernels, neural_s=[0.1])
+            with pytest.raises(ValueError):
+                service.submit_batch(kernels, calibrations=[None])
+
+    def test_per_kernel_calibrations(self):
+        from repro.pc.learn import sample_dataset
+
+        circuits = [random_circuit(4, depth=2, seed=s) for s in (18, 19)]
+        calibrations = [sample_dataset(c, 10, seed=20) for c in circuits]
+        with ReasonService(shards=2) as service:
+            batch = service.run_batch_sync(circuits, calibrations=calibrations)
+        assert all(r.result == pytest.approx(1.0) for r in batch.reports)
+
+
+class TestStatsAndDrain:
+    def test_drain_waits_for_all_admitted_work(self):
+        with ReasonService(shards=3, policy="least-loaded") as service:
+            for kernel in mixed_kernels() * 3:
+                service.submit(kernel, queries=10)
+            service.drain()
+            stats = service.stats()
+        assert stats.submitted == 12 and stats.completed == 12
+        assert all(shard.pending == 0 for shard in stats.shards)
+        assert stats.policy == "least-loaded"
+
+    def test_makespan_composition_is_max_over_shards(self):
+        with ReasonService(shards=2, policy="round-robin") as service:
+            for kernel in mixed_kernels():
+                service.submit(kernel, queries=100)
+            service.drain()
+            stats = service.stats()
+        per_shard = [shard.makespan.total_s for shard in stats.shards]
+        assert stats.makespan_s == pytest.approx(max(per_shard))
+        assert stats.composition.single_shard_s >= stats.makespan_s
+        assert stats.throughput_rps > 0
+
+    def test_stats_window_bounds_retained_history(self):
+        from repro.core.system import TwoLevelPipeline
+
+        kernel = random_ksat(8, 24, seed=32)
+        symbolic = ReasonSession().run(kernel).seconds
+        with ReasonService(shards=1, stats_window=4) as service:
+            for _ in range(10):
+                service.submit(kernel)
+            service.drain()
+            stats = service.stats()
+        assert stats.completed == 10 and stats.retained == 4
+        # Makespan composed over the 4 most recent successes only, and
+        # throughput divides the windowed count, not the all-time one.
+        expected = TwoLevelPipeline().run([0.0] * 4, [symbolic] * 4).total_s
+        assert stats.makespan_s == pytest.approx(expected)
+        assert stats.throughput_rps == pytest.approx(4 / expected)
+        with pytest.raises(ValueError):
+            ReasonService(shards=1, stats_window=0)
+
+    def test_empty_service_stats(self):
+        with ReasonService(shards=2) as service:
+            stats = service.stats()
+        assert stats.submitted == 0 and stats.completed == 0
+        assert stats.makespan_s == 0.0 and stats.throughput_rps == 0.0
+        assert stats.warm_hit_rate == 0.0

@@ -1,5 +1,5 @@
-"""ReasonSession facade: run/run_batch semantics, public exports, and
-the deprecation shim over the legacy runner entry point."""
+"""ReasonSession facade: run/run_batch/cross_check semantics, public
+exports, and the deprecation shim over the legacy runner entry point."""
 
 import warnings
 
@@ -95,11 +95,89 @@ class TestRunBatch:
         with pytest.raises(ValueError):
             session.run_batch(kernels, calibrations=[None])
 
+    def test_options_parsed_once_per_batch(self, monkeypatch):
+        """Regression: run_batch used to rebuild RunOptions for every
+        kernel (twice per request, counting compile)."""
+        import repro.api.session as session_module
+
+        real = session_module.RunOptions
+        constructions = []
+
+        def counting(*args, **kwargs):
+            constructions.append(kwargs)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "RunOptions", counting)
+        session = ReasonSession()
+        kernels = [random_ksat(8, 24, seed=s) for s in range(4)]
+        session.run_batch(kernels, keep_fraction=0.9)
+        assert len(constructions) == 1
+
+    def test_batch_with_cache_disabled_reports_no_lookups(self):
+        session = ReasonSession(cache=False)
+        batch = session.run_batch([random_ksat(8, 24, seed=20)] * 3)
+        assert batch.cache_hits == 0 and batch.cache_misses == 0
+        assert session.prepare_calls == 3
+
+
+class TestCrossCheck:
+    def test_all_backends_by_default(self):
+        session = ReasonSession()
+        reports = session.cross_check(random_ksat(10, 30, seed=21))
+        assert set(reports) == set(session.backends())
+        for name, report in reports.items():
+            assert report.backend == name
+            assert report.kernel == "cnf"
+
+    def test_functional_backends_agree(self):
+        session = ReasonSession()
+        reports = session.cross_check(
+            random_ksat(10, 30, seed=22), backends=["reason", "software"]
+        )
+        assert reports["reason"].result == reports["software"].result
+
+    def test_backend_subset_and_single_compile(self):
+        session = ReasonSession()
+        kernel = random_circuit(4, depth=2, seed=23)
+        reports = session.cross_check(kernel, backends=["reason", "gpu", "cpu"])
+        assert list(reports) == ["reason", "gpu", "cpu"]
+        # One front-end pass serves every backend via the cache.
+        assert session.prepare_calls == 1
+        assert session.cache_stats.hits == 2
+
+    def test_options_flow_through(self):
+        session = ReasonSession()
+        kernel = HMM.random(3, 4, seed=24)
+        reports = session.cross_check(
+            kernel, backends=["reason", "software"], hmm_observations=[0, 1, 2]
+        )
+        assert reports["reason"].result == pytest.approx(
+            reports["software"].result, rel=1e-6
+        )
+
+    def test_queries_forwarded(self):
+        """Regression: queries must reach the backends, not RunOptions."""
+        session = ReasonSession()
+        kernel = random_ksat(10, 30, seed=25)
+        reports = session.cross_check(kernel, backends=["reason"], queries=5)
+        single = session.run(kernel, queries=1)
+        assert reports["reason"].queries == 5
+        assert reports["reason"].cycles == single.cycles * 5
+
 
 class TestPublicSurface:
     def test_top_level_imports(self):
-        assert repro.__version__ == "1.1.0"
-        for name in ("ReasonSession", "Backend", "ExecutionReport", "BatchResult"):
+        assert repro.__version__ == "1.2.0"
+        for name in (
+            "ReasonSession",
+            "ReasonService",
+            "ReasonFuture",
+            "Backend",
+            "ExecutionReport",
+            "BatchResult",
+            "ServiceBatchResult",
+            "list_policies",
+        ):
             assert hasattr(repro, name)
 
     def test_session_lists_backends(self):
@@ -123,3 +201,28 @@ class TestDeprecationShim:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore")
                 time_kernel_on_reason("nope")
+
+    def test_shim_forwards_optimization_flag(self):
+        """Parity must hold for non-default options too: disabling the
+        algorithm optimizations changes the trace, and the shim's
+        timing must track session.run(optimize=False) exactly."""
+        kernel = random_ksat(14, 48, seed=14)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            timing = time_kernel_on_reason(
+                kernel, apply_algorithm_optimizations=False
+            )
+        report = ReasonSession().run(kernel, optimize=False)
+        assert timing.cycles == report.cycles
+        assert timing.seconds == pytest.approx(report.seconds)
+        assert timing.energy_j == pytest.approx(report.energy_j)
+
+    def test_shim_forwards_hmm_observations(self):
+        kernel = HMM.random(3, 4, seed=15)
+        observations = [0, 1, 2, 1]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            timing = time_kernel_on_reason(kernel, hmm_observations=observations)
+        report = ReasonSession().run(kernel, hmm_observations=observations)
+        assert timing.cycles == report.cycles
+        assert timing.seconds == pytest.approx(report.seconds)

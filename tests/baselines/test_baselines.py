@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines import (
-    A100,
     DPU_LIKE,
     KernelClass,
     KernelProfile,
@@ -11,7 +10,6 @@ from repro.baselines import (
     RTX_A6000,
     TABLE2_KERNELS,
     TPU_LIKE,
-    V100,
     XEON_CPU,
     all_devices,
     attainable_performance,

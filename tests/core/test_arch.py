@@ -24,9 +24,9 @@ from repro.core.arch.config import dse_grid
 from repro.core.arch.energy import scale_to_node
 from repro.core.arch.interconnect import area_breakdown, scalability_series
 from repro.core.arch.memory import DmaEngine, Scratchpad, SramBanks
-from repro.logic.cdcl import CDCLSolver, SolveResult
+from repro.logic.cdcl import CDCLSolver
 from repro.logic.cnf import CNF, Clause
-from repro.logic.generators import pigeonhole, planted_sat, random_ksat
+from repro.logic.generators import pigeonhole, random_ksat
 
 
 class TestConfig:

@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.compiler import (
-    Block,
     compile_dag,
     decompose_blocks,
     map_block_to_tree,
@@ -17,7 +16,6 @@ from repro.core.compiler import (
 )
 from repro.core.compiler.blocks import block_dependencies, topological_block_order
 from repro.core.compiler.mapping import issue_conflicts
-from repro.core.compiler.program import InstructionKind
 from repro.core.dag import (
     Dag,
     OpType,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.arch.accelerator import ReasonAccelerator
-from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.arch.config import ArchConfig
 from repro.core.arch.spmspm import CsrMatrix, SpmspmEngine
 from repro.logic.cdcl import CDCLSolver
 from repro.logic.generators import pigeonhole, planted_sat, random_ksat

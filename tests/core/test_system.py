@@ -4,9 +4,8 @@ and the REASON kernel runner."""
 import pytest
 
 from repro.baselines.device import KernelClass, KernelProfile, ORIN_NX, RTX_A6000
-from repro.core.dag import cnf_to_dag, circuit_to_dag, regularize_two_input
+from repro.core.dag import circuit_to_dag
 from repro.core.system import (
-    Placement,
     ReasonCoprocessor,
     CoprocessorStatus,
     TwoLevelPipeline,

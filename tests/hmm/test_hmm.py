@@ -10,9 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.hmm.constrained import DFAConstraint, constrained_decode, product_forward_table
 from repro.hmm.inference import (
-    backward,
     filter_distribution,
-    forward,
     log_likelihood,
     posteriors,
     predict_next_observation,

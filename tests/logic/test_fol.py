@@ -22,7 +22,7 @@ from repro.logic.fol import (
     unify,
 )
 from repro.logic.cdcl import SolveResult, solve_cnf
-from repro.logic.fol.clausify import FOLClause, FOLLiteral, clausify_all
+from repro.logic.fol.clausify import clausify_all
 from repro.logic.fol.terms import conj, disj, formula_variables
 from repro.logic.fol.unification import unify_predicates
 

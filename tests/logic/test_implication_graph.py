@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.logic.cdcl import SolveResult, solve_cnf
+from repro.logic.cdcl import solve_cnf
 from repro.logic.cnf import CNF, Clause
 from repro.logic.generators import chain_implications, random_ksat
 from repro.logic.implication_graph import (

@@ -1,7 +1,6 @@
 """Tests for DPLL, CDCL and cube-and-conquer solvers, including
 hypothesis-driven agreement and model-soundness properties."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic.cdcl import CDCLSolver, SolveResult, solve_cnf

@@ -1,6 +1,5 @@
 """Tests for subsumption elimination and combined logic preprocessing."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic.cdcl import solve_cnf

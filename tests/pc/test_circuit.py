@@ -1,7 +1,6 @@
 """Tests for probabilistic circuit structure and inference."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest
@@ -22,7 +21,6 @@ from repro.pc.inference import (
     likelihood,
     log_likelihood,
     map_state,
-    marginal,
     partition_function,
     sample,
 )

@@ -1,8 +1,6 @@
 """Tests for circuit flows, EM learning and CNF compilation / WMC."""
 
 import itertools
-import math
-import random
 
 import numpy as np
 import pytest
@@ -10,8 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.logic.cnf import CNF, Clause
 from repro.logic.generators import random_ksat
-from repro.logic.cdcl import SolveResult, solve_cnf
-from repro.pc.circuit import Circuit, ProductNode, SumNode, bernoulli_leaf
+from repro.pc.circuit import Circuit, SumNode, bernoulli_leaf
 from repro.pc.compile_logic import compile_cnf_to_circuit, model_count, weighted_model_count
 from repro.pc.flows import (
     dataset_edge_flows,
@@ -19,7 +16,7 @@ from repro.pc.flows import (
     flow_pruning_bound,
     node_flows,
 )
-from repro.pc.inference import likelihood, log_likelihood, partition_function, sample
+from repro.pc.inference import likelihood, log_likelihood, partition_function
 from repro.pc.learn import em_step, fit_em, random_circuit, sample_dataset
 
 

@@ -10,18 +10,11 @@ from repro.core.arch import ReasonAccelerator
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.arch.tree_pe import PEMode
 from repro.core.compiler import compile_dag
-from repro.core.dag import (
-    circuit_to_dag,
-    default_leaf_inputs,
-    evaluate_dag,
-    hmm_to_dag,
-    optimize,
-)
+from repro.core.dag import circuit_to_dag, default_leaf_inputs, hmm_to_dag, optimize
 from repro.core.system.runner import time_kernel_on_reason
 from repro.hmm.inference import log_likelihood as hmm_ll
 from repro.hmm.model import HMM
 from repro.logic.cdcl import SolveResult, solve_cnf
-from repro.logic.cnf import CNF
 from repro.pc.circuit import Circuit
 from repro.pc.inference import likelihood
 from repro.pc.learn import sample_dataset

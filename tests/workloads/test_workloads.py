@@ -5,7 +5,6 @@ import random
 import numpy as np
 import pytest
 
-from repro.baselines.device import KernelClass
 from repro.hmm.model import HMM
 from repro.logic.cnf import CNF
 from repro.pc.circuit import Circuit
@@ -27,7 +26,7 @@ from repro.workloads.datasets import (
     generate_text_corpus,
 )
 from repro.workloads.gelato import bleu2
-from repro.workloads.neural import MODEL_ZOO, LLMOptimizations, TransformerCostModel
+from repro.workloads.neural import MODEL_ZOO, LLMOptimizations
 from repro.workloads.r2guard import auprc
 
 
