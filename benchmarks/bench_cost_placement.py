@@ -1,0 +1,256 @@
+"""Cost-model placement benchmark: predicted time beats queue depth.
+
+Two questions the cost-model subsystem answers for a deployment:
+
+1. **Does predicted-time scheduling close the 2-shard makespan gap?**
+   A heterogeneous mixed trace (heavy SAT replays next to tiny HMMs,
+   1x-16x query batches) is placed on 2 shards under ``least-loaded``
+   (counts pending requests) and under ``predicted-makespan``
+   (balances predicted seconds), at saturated admission — every
+   request admitted before any completes, the regime where placement
+   quality matters and the comparison is deterministic (live
+   completion feedback would add wall-clock jitter to both policies).
+   Counting requests splits the *count* evenly but not the *work*;
+   balancing the cost model's per-request predictions pushes the
+   modeled speedup toward the ideal 2x.
+
+2. **Does heterogeneous placement beat round-robin?**  One service
+   spanning ``reason`` / ``gpu`` / ``cpu`` shards serves a mixed
+   neural/logic trace under ``round-robin`` (substrate-blind) and
+   ``cost-aware`` (minimizes predicted completion time per substrate).
+   Round-robin pays the slow substrates' derated rooflines on a third
+   of the traffic; cost-aware spills work onto them only when the fast
+   shard's predicted backlog makes it worthwhile.  Every cost-aware
+   report is also cross-checked bit-identical against a fresh
+   single-session run on the same backend.
+
+Run:  python benchmarks/bench_cost_placement.py [--tiny]
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import print_table  # noqa: E402
+
+from repro import ReasonService, ReasonSession, RunOptions  # noqa: E402
+from repro.api.adapters import adapter_for  # noqa: E402
+from repro.api.scheduler import Request, ShardView, get_policy  # noqa: E402
+from repro.core.system.sharding import compose_shard_makespans  # noqa: E402
+from repro.costmodel import CostEstimator  # noqa: E402
+from repro.hmm.model import HMM  # noqa: E402
+from repro.logic.generators import random_ksat, redundant_sat  # noqa: E402
+from repro.pc.learn import random_circuit  # noqa: E402
+
+
+def heterogeneous_kernels(num_kernels: int):
+    """Mixed fleet with deliberately skewed per-request costs: heavy
+    redundant-SAT replays next to small formulas, circuits and HMMs."""
+    kernels = []
+    for index in range(num_kernels):
+        family = index % 4
+        if family == 0:  # heavy logic kernel (dominates the makespan)
+            kernels.append(redundant_sat(36, 140, seed=index)[0])
+        elif family == 1:  # light logic kernel
+            kernels.append(random_ksat(16, 55, seed=index))
+        elif family == 2:  # neural-ish probabilistic kernel
+            kernels.append(random_circuit(5, depth=2, seed=index))
+        else:  # tiny Bayesian kernel
+            kernels.append(HMM.random(3, 5, seed=index))
+    return kernels
+
+
+def make_trace(kernels, passes: int, base_queries: int, seed: int = 0):
+    """Request trace of (kernel, queries) pairs.
+
+    Query counts vary per request (1x-16x the base): real serving
+    traffic batches unevenly, and a queue-depth policy cannot see that
+    a 16x-query replay is 16x the work — the cost model can.
+    """
+    rng = random.Random(seed)
+    trace = [
+        (kernel, base_queries * rng.choice((1, 2, 4, 16)))
+        for kernel in kernels * passes
+    ]
+    rng.shuffle(trace)
+    return trace
+
+
+def warm_estimator(estimator: CostEstimator, kernels, queries: int):
+    """Profile pass: run each distinct kernel once on the accelerator
+    and feed features + observed reports to the shared estimator."""
+    session = ReasonSession()
+    options = RunOptions()
+    for kernel in kernels:
+        adapter = adapter_for(kernel)
+        fingerprint = adapter.fingerprint(kernel, options, session.config)
+        report = session.run_prepared(kernel, options, queries=queries)
+        estimator.observe(
+            fingerprint,
+            kind=adapter.kind,
+            backend="reason",
+            report=report,
+            artifact=session.artifact_for(fingerprint),
+        )
+
+
+def place_saturated(trace, policy_name, num_shards, estimator, session):
+    """Place the trace at saturated admission (no completions between
+    submissions — the regime where placement quality decides the
+    makespan) and compose the resulting per-shard pipelines.
+
+    Uses the same public policy / ShardView / prediction machinery the
+    service drives, with each request's symbolic seconds taken from the
+    warm session's deterministic execution model.
+    """
+    policy = get_policy(policy_name)
+    options = RunOptions()
+    pending = [0] * num_shards
+    busy = [0.0] * num_shards
+    shard_tasks = [[] for _ in range(num_shards)]
+    for kernel, queries in trace:
+        adapter = adapter_for(kernel)
+        fingerprint = adapter.fingerprint(kernel, options, session.config)
+        prediction = estimator.predict(
+            fingerprint, "reason", queries=queries, kind=adapter.kind
+        )
+        request = Request(
+            kernel=kernel,
+            options=options,
+            kind=adapter.kind,
+            fingerprint=fingerprint,
+            backend=None,
+            queries=queries,
+            neural_s=0.0,
+            predicted={"reason": prediction},
+        )
+        views = [
+            ShardView(i, pending[i], 0, "reason", busy[i])
+            for i in range(num_shards)
+        ]
+        index = policy.select(request, views)
+        pending[index] += 1
+        busy[index] += prediction.seconds
+        report = session.run_prepared(kernel, options, queries=queries)
+        shard_tasks[index].append((0.0, report.seconds))
+    return compose_shard_makespans(shard_tasks)
+
+
+def serve(trace, shards, policy, estimator):
+    """Run the trace through a service; return (stats, reports)."""
+    with ReasonService(shards=shards, policy=policy, cost_model=estimator) as service:
+        futures = [
+            service.submit(kernel, queries=queries, neural_s=0.0)
+            for kernel, queries in trace
+        ]
+        service.drain()
+        reports = [future.result() for future in futures]
+        return service.stats(), reports
+
+
+def main() -> None:
+    tiny = "--tiny" in sys.argv
+    num_kernels = 8 if tiny else 12
+    passes = 3 if tiny else 6
+    queries = 50 if tiny else 400
+
+    kernels = heterogeneous_kernels(num_kernels)
+    trace = make_trace(kernels, passes, queries)
+    estimator = CostEstimator()
+    warm_estimator(estimator, kernels, queries)
+    warm_session = ReasonSession()
+
+    # ---- 1: predicted-makespan vs least-loaded on 2 homogeneous shards
+    rows = []
+    throughput = {}
+    speedup = {}
+    for policy in ("least-loaded", "predicted-makespan"):
+        composition = place_saturated(trace, policy, 2, estimator, warm_session)
+        throughput[policy] = composition.throughput_rps(len(trace))
+        speedup[policy] = composition.speedup
+        rows.append(
+            [
+                policy,
+                f"{composition.total_s * 1e3:8.3f}",
+                f"{throughput[policy]:12,.0f}",
+                f"{speedup[policy]:5.2f}x",
+                f"{2.0 - speedup[policy]:5.2f}x",
+            ]
+        )
+    print_table(
+        f"Predicted-time scheduling: {len(trace)} heterogeneous requests "
+        f"({queries}-{queries * 16} queries each), 2 shards",
+        ["policy", "makespan ms", "req/s (model)", "speedup vs 1", "gap to 2x"],
+        rows,
+    )
+    time_aware_wins = (
+        throughput["predicted-makespan"] >= throughput["least-loaded"]
+    )
+    verdict = "PASS" if time_aware_wins else "FAIL"
+    print(
+        f"\npredicted-makespan {throughput['predicted-makespan']:,.0f} req/s vs "
+        f"least-loaded {throughput['least-loaded']:,.0f} req/s; 2-shard gap "
+        f"{2.0 - speedup['predicted-makespan']:.2f}x vs "
+        f"{2.0 - speedup['least-loaded']:.2f}x [{verdict}]"
+    )
+
+    # ---- 2: heterogeneous substrates: cost-aware vs round-robin
+    substrates = ["reason", "gpu", "cpu"]
+    rows = []
+    hetero_throughput = {}
+    placements = {}
+    for policy in ("round-robin", "cost-aware"):
+        stats, reports = serve(trace, substrates, policy, estimator)
+        hetero_throughput[policy] = stats.throughput_rps
+        placements[policy] = reports
+        per_backend = {
+            shard.backend: shard.completed for shard in stats.shards
+        }
+        rows.append(
+            [
+                policy,
+                f"{stats.makespan_s * 1e3:8.3f}",
+                f"{stats.throughput_rps:12,.0f}",
+                " ".join(f"{b}:{n}" for b, n in sorted(per_backend.items())),
+            ]
+        )
+    print_table(
+        f"Heterogeneous placement: {len(trace)} requests over "
+        f"{'/'.join(substrates)} shards",
+        ["policy", "makespan ms", "req/s (model)", "requests per substrate"],
+        rows,
+    )
+    cost_aware_wins = hetero_throughput["cost-aware"] >= hetero_throughput["round-robin"]
+    verdict = "PASS" if cost_aware_wins else "FAIL"
+    print(
+        f"\ncost-aware {hetero_throughput['cost-aware']:,.0f} req/s vs "
+        f"round-robin {hetero_throughput['round-robin']:,.0f} req/s on mixed "
+        f"substrates [{verdict}]"
+    )
+
+    # ---- 3: cost-aware placement stays bit-identical to a session
+    reference = ReasonSession()
+    mismatches = 0
+    for (kernel, queries), report in zip(trace, placements["cost-aware"]):
+        expected = reference.run(kernel, backend=report.backend, queries=queries)
+        if (
+            expected.result != report.result
+            or expected.cycles != report.cycles
+            or expected.seconds != report.seconds
+            or expected.energy_j != report.energy_j
+        ):
+            mismatches += 1
+    identical = mismatches == 0
+    verdict = "PASS" if identical else "FAIL"
+    print(
+        f"cost-aware reports bit-identical to single-session runs: "
+        f"{len(trace) - mismatches}/{len(trace)} [{verdict}]"
+    )
+
+    if not (time_aware_wins and cost_aware_wins and identical):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

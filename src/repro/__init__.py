@@ -22,7 +22,11 @@ Package map:
 * :mod:`repro.api` — the public front door: :class:`ReasonSession`
   over pluggable kernel adapters and execution backends, with compile
   caching and pipelined batch execution, and :class:`ReasonService`
-  for async, sharded serving over many sessions.
+  for async, sharded serving over many sessions;
+* :mod:`repro.costmodel` — predicted per-request latency/energy per
+  backend class from compile artifacts, calibrated online from
+  execution reports; drives the time-aware scheduling policies and
+  heterogeneous (reason/gpu/cpu) shard placement.
 
 Quickstart::
 
@@ -36,7 +40,7 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     Backend,
@@ -54,6 +58,12 @@ from repro.api import (  # noqa: E402  (public re-exports)
     register_backend,
     register_policy,
 )
+from repro.costmodel import (  # noqa: E402  (public re-exports)
+    Calibrator,
+    CostEstimator,
+    CostFeatures,
+    CostPrediction,
+)
 
 __all__ = [
     "__version__",
@@ -66,6 +76,10 @@ __all__ = [
     "ServiceBatchResult",
     "CompiledArtifact",
     "RunOptions",
+    "CostEstimator",
+    "Calibrator",
+    "CostFeatures",
+    "CostPrediction",
     "list_backends",
     "list_policies",
     "register_adapter",

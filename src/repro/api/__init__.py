@@ -10,8 +10,14 @@ backend — and a sharded service when one session isn't enough.
 * :mod:`backends` — the substrate registry (``reason``, ``software``,
   ``gpu``, ``cpu``, ``roofline``) sharing one :class:`ExecutionReport`;
 * :mod:`scheduler` — the placement-policy registry (``round-robin``,
-  ``least-loaded``, ``cache-affinity``);
+  ``least-loaded``, ``cache-affinity``, ``predicted-makespan``,
+  ``cost-aware``);
 * :mod:`cache` — the thread-safe content-addressed compile cache.
+
+The time-aware policies route on :mod:`repro.costmodel` predictions:
+every service owns a :class:`~repro.costmodel.CostEstimator` that
+prices requests per backend class and calibrates online from the
+reports its shards produce.
 """
 
 from repro.api.adapters import (
@@ -35,9 +41,13 @@ from repro.api.cache import CacheStats, CompileCache, content_key
 from repro.api.futures import ReasonFuture, wait_all
 from repro.api.scheduler import (
     CacheAffinityPolicy,
+    CostAwarePlacementPolicy,
     LeastLoadedPolicy,
+    PredictedMakespanPolicy,
+    Request,
     RoundRobinPolicy,
     SchedulingPolicy,
+    ShardView,
     get_policy,
     list_policies,
     register_policy,
@@ -80,9 +90,13 @@ __all__ = [
     "list_backends",
     "register_backend",
     "SchedulingPolicy",
+    "Request",
+    "ShardView",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "CacheAffinityPolicy",
+    "PredictedMakespanPolicy",
+    "CostAwarePlacementPolicy",
     "get_policy",
     "list_policies",
     "register_policy",

@@ -103,6 +103,13 @@ class CompileCache:
             self._stats.hits += 1
             return artifact
 
+    def peek(self, key: str) -> Optional[CompiledArtifact]:
+        """Stats-neutral lookup: no hit/miss accounting, no LRU bump.
+        Introspection paths (cost-feature extraction, tests) use this
+        so they never distort the serving hit rate."""
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: str, artifact: CompiledArtifact) -> None:
         with self._lock:
             self._entries[key] = artifact

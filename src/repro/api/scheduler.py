@@ -2,8 +2,10 @@
 
 :class:`~repro.api.service.ReasonService` asks its policy to place
 every admitted request on one of its shards.  A policy sees the request
-(including its content-hash fingerprint) and a load snapshot of every
-shard, and returns a shard index.  Three policies ship in the registry:
+(including its content-hash fingerprint and, when the service's cost
+model has one, a predicted cost per backend class) and a load snapshot
+of every shard, and returns a shard index.  Five policies ship in the
+registry:
 
 * ``round-robin``   — cycle through shards; the predictable baseline;
 * ``least-loaded``  — pick the shard with the fewest pending requests
@@ -11,7 +13,15 @@ shard, and returns a shard index.  Three policies ship in the registry:
 * ``cache-affinity`` — hash the request fingerprint onto a shard, so
   structurally identical requests always land on the same shard and hit
   its warm compile cache (each shard owns a private cache; spreading a
-  hot kernel across shards re-pays the front end once per shard).
+  hot kernel across shards re-pays the front end once per shard);
+* ``predicted-makespan`` — time-aware least-loaded: place on the shard
+  whose *predicted busy time* plus this request's predicted execution
+  time is smallest, so heterogeneous request costs balance by seconds
+  instead of by count;
+* ``cost-aware`` — heterogeneous placement: minimize predicted
+  completion time across shards that may sit on different substrates
+  (reason vs gpu vs cpu vs roofline), charging a one-time compile
+  penalty to shards that have never seen the kernel.
 
 Registering a custom policy is one :func:`register_policy` call; the
 service accepts either a registered name or a policy instance.
@@ -22,31 +32,54 @@ from __future__ import annotations
 import abc
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.adapters import RunOptions
+from repro.costmodel.features import PredictionMap, prediction_for
 
 
 @dataclass(frozen=True)
 class ShardView:
-    """Read-only load snapshot of one shard, handed to policies."""
+    """Read-only load snapshot of one shard, handed to policies.
+
+    ``backend`` and ``busy_s`` extend the original (index, pending,
+    completed) triple with the shard's substrate identity and its
+    cumulative *predicted* busy time — the seconds of admitted-but-
+    unfinished work the cost model expects it still owes.  Both default
+    so pre-cost-model callers keep constructing views positionally.
+    """
 
     index: int
     pending: int  # queued + in-flight requests
     completed: int
+    backend: str = "reason"
+    busy_s: float = 0.0  # predicted seconds of unfinished admitted work
 
 
 @dataclass(frozen=True)
 class Request:
-    """What a policy may route on (the kernel itself included)."""
+    """What a policy may route on (the kernel itself included).
+
+    ``backend`` is the caller's forced substrate, or None when the
+    request should run on whatever backend the chosen shard owns.
+    ``predicted`` maps each eligible backend name to the cost model's
+    :class:`~repro.costmodel.features.CostPrediction` (None when the
+    service runs without a cost model).
+    """
 
     kernel: object
     options: RunOptions
     kind: str
     fingerprint: str
-    backend: str
+    backend: Optional[str]
     queries: int
     neural_s: float
+    predicted: Optional[PredictionMap] = None
+
+    def predicted_for(self, view: ShardView):
+        """This request's prediction on one shard's substrate (its
+        forced backend when set, else the shard's own)."""
+        return prediction_for(self.predicted, self.backend or view.backend)
 
 
 class SchedulingPolicy(abc.ABC):
@@ -103,6 +136,99 @@ class CacheAffinityPolicy(SchedulingPolicy):
         return bucket % len(shards)
 
 
+class PredictedMakespanPolicy(SchedulingPolicy):
+    """Time-aware least-loaded: balance predicted seconds, not counts.
+
+    Queue depth treats a 110-clause SAT replay and a 3-state HMM as
+    equal work; on heterogeneous traces that leaves one shard grinding
+    long kernels while others idle (the 2-shard scaling gap the
+    shard-scaling bench shows).  This policy charges each shard its
+    cumulative predicted busy time and places the request where
+    ``busy_s + predicted_exec_s`` is smallest — greedy longest-
+    processing-time balancing over the cost model's estimates.  Without
+    predictions (no cost model) it degrades to least-loaded.
+    """
+
+    name = "predicted-makespan"
+
+    def select(self, request: Request, shards: Sequence[ShardView]) -> int:
+        if not request.predicted:
+            return min(shards, key=lambda view: (view.pending, view.index)).index
+
+        def completion(view: ShardView):
+            prediction = request.predicted_for(view)
+            exec_s = prediction.seconds if prediction is not None else 0.0
+            return (view.busy_s + exec_s, view.pending, view.index)
+
+        return min(shards, key=completion).index
+
+
+class CostAwarePlacementPolicy(SchedulingPolicy):
+    """Heterogeneous placement: minimize predicted completion time
+    across shards on *different substrates*.
+
+    Each shard advertises its backend (reason / gpu / cpu / roofline /
+    …); the request's predicted execution time differs per substrate
+    (a logic kernel is ~7× cheaper on the accelerator than on a GPU's
+    derated roofline), so the policy scores every shard as::
+
+        busy_s + exec_s(shard.backend) + compile_s·[kernel unseen here]
+
+    and takes the minimum — routing each kernel class to the substrate
+    that serves it fastest *given current load*, spilling onto slower
+    substrates only when the fast ones are saturated.  The compile term
+    charges the offline front end once per (shard, fingerprint), which
+    keeps hot kernels from ping-ponging between cold caches.  Without
+    predictions it degrades to least-loaded.
+
+    Placement is recorded optimistically at selection: if admission is
+    subsequently rejected (backpressure timeout) the shard is still
+    marked warm, slightly under-charging the next repeat — a bounded
+    mis-estimate the calibrated busy time dominates, accepted to keep
+    policies free of admission-outcome plumbing.  The per-shard memory
+    is FIFO-bounded by ``max_tracked`` fingerprints.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, max_tracked: int = 65536):
+        self.max_tracked = max_tracked
+        # dict-as-ordered-set per shard: insertion order = FIFO eviction.
+        self._placed: Dict[int, Dict[str, None]] = {}
+
+    def select(self, request: Request, shards: Sequence[ShardView]) -> int:
+        if not request.predicted:
+            return min(shards, key=lambda view: (view.pending, view.index)).index
+
+        # Cold start: with neither features nor class priors the scores
+        # carry no compile signal (compile_s is 0 everywhere), so a
+        # burst of identical never-seen kernels would spread across
+        # every cold cache.  Until the model learns, stick repeats to
+        # the shard that first took the fingerprint.
+        if all(p.source == "default" for p in request.predicted.values()):
+            for view in shards:
+                if request.fingerprint in self._placed.get(view.index, ()):
+                    return view.index
+
+        def completion(view: ShardView):
+            prediction = request.predicted_for(view)
+            exec_s = prediction.seconds if prediction is not None else 0.0
+            compile_s = 0.0
+            if (
+                prediction is not None
+                and request.fingerprint not in self._placed.get(view.index, ())
+            ):
+                compile_s = prediction.compile_s
+            return (view.busy_s + exec_s + compile_s, view.pending, view.index)
+
+        index = min(shards, key=completion).index
+        placed = self._placed.setdefault(index, {})
+        placed[request.fingerprint] = None
+        if len(placed) > self.max_tracked:
+            placed.pop(next(iter(placed)))
+        return index
+
+
 #: Name → factory registry.  Factories, not instances: policies may be
 #: stateful (round-robin's cursor), so every service gets its own.
 _POLICIES: Dict[str, Callable[[], SchedulingPolicy]] = {}
@@ -114,19 +240,30 @@ def register_policy(name: str, factory: Callable[[], SchedulingPolicy]) -> None:
 
 
 def list_policies() -> List[str]:
+    """Registered policy names, sorted for stable display and docs."""
     return sorted(_POLICIES)
 
 
 def get_policy(spec: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
-    """Resolve a policy name (or pass an instance through)."""
+    """Resolve a policy name (or pass an instance through).
+
+    Raises a :class:`KeyError` naming every registered policy on an
+    unknown name, and a :class:`TypeError` when ``spec`` is neither a
+    string nor a :class:`SchedulingPolicy`.
+    """
     if isinstance(spec, SchedulingPolicy):
         return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"policy spec must be a registered name or a SchedulingPolicy "
+            f"instance, not {type(spec).__name__}"
+        )
     try:
         factory = _POLICIES[spec]
     except KeyError:
         raise KeyError(
             f"unknown scheduling policy {spec!r} "
-            f"(registered: {', '.join(sorted(_POLICIES))})"
+            f"(registered: {', '.join(list_policies())})"
         ) from None
     return factory()
 
@@ -134,3 +271,5 @@ def get_policy(spec: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
 register_policy("round-robin", RoundRobinPolicy)
 register_policy("least-loaded", LeastLoadedPolicy)
 register_policy("cache-affinity", CacheAffinityPolicy)
+register_policy("predicted-makespan", PredictedMakespanPolicy)
+register_policy("cost-aware", CostAwarePlacementPolicy)

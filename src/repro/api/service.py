@@ -14,10 +14,21 @@ layer::
 Each shard owns a private :class:`ReasonSession` (its own compile
 cache) fed by a bounded admission queue and drained by a dedicated
 worker thread.  A pluggable :class:`~repro.api.scheduler.SchedulingPolicy`
-(round-robin, least-loaded, cache-affinity) places every request;
-admission applies backpressure — when the chosen shard's queue is full,
-``submit`` blocks (or raises :class:`ServiceOverloaded` after
-``timeout``), so producers can't outrun the accelerators unboundedly.
+(round-robin, least-loaded, cache-affinity, predicted-makespan,
+cost-aware) places every request; admission applies backpressure —
+when the chosen shard's queue is full, ``submit`` blocks (or raises
+:class:`ServiceOverloaded` after ``timeout``), so producers can't
+outrun the accelerators unboundedly.
+
+Shards may sit on *different substrates*: ``shards=4`` spins up four
+REASON instances, while ``shards=["reason", "reason", "gpu", "cpu"]``
+spans the accelerator and the analytic device models with one front
+door — requests submitted without a forced ``backend`` execute on
+whatever substrate their shard owns.  A
+:class:`~repro.costmodel.CostEstimator` (one per service) predicts
+each request's per-backend cost at admission, tracks every shard's
+predicted busy time, and learns online from completed reports; the
+time-aware policies route on those predictions.
 
 Throughput accounting stays faithful to the paper's overlap model:
 each shard's completed work is composed through its own two-level
@@ -37,6 +48,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api.adapters import RunOptions, adapter_for
+from repro.api.backends import get_backend
 from repro.api.cache import CacheStats
 from repro.api.futures import ReasonFuture
 from repro.api.scheduler import Request, SchedulingPolicy, ShardView, get_policy
@@ -45,6 +57,7 @@ from repro.api.types import ExecutionReport
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.system.pipeline import PipelineResult
 from repro.core.system.sharding import ShardComposition, compose_shard_makespans
+from repro.costmodel import CostEstimator
 
 
 class ServiceClosed(RuntimeError):
@@ -63,11 +76,12 @@ _SENTINEL = object()  # shutdown marker on the admission queues
 class _WorkItem:
     kernel: object
     options: RunOptions
-    backend: str
+    backend: str  # resolved substrate (forced by caller or shard default)
     queries: int
     neural_s: float
     fingerprint: str  # computed at admission; reused for the cache lookup
     future: ReasonFuture
+    predicted_s: float = 0.0  # busy-time charged at admission, repaid on exit
 
 
 class _Shard:
@@ -79,9 +93,13 @@ class _Shard:
         session: ReasonSession,
         max_queue: int,
         stats_window: Optional[int],
+        backend: str = "reason",
+        observe=None,
     ):
         self.index = index
         self.session = session
+        self.backend = backend
+        self.observe = observe  # callback(shard, item, report) on success
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
         self.lock = threading.Lock()
         # Serializes enqueues against close()'s sentinel, so an admitted
@@ -91,6 +109,9 @@ class _Shard:
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        # Sum of admitted-but-unfinished predicted seconds (cost model's
+        # view of this shard's backlog; what ShardView.busy_s reports).
+        self.busy_s = 0.0
         # (neural_s, symbolic_s) per success; bounded so a long-lived
         # service doesn't grow without limit and stats() stays cheap.
         self.stage_times: "deque" = deque(maxlen=stats_window)
@@ -120,10 +141,16 @@ class _Shard:
             finally:
                 self.queue.task_done()
 
+    def _repay_busy(self, item: _WorkItem) -> None:
+        # Caller holds self.lock.  Clamp: float error must never leave
+        # a phantom negative backlog behind.
+        self.busy_s = max(self.busy_s - item.predicted_s, 0.0)
+
     def _execute(self, item: _WorkItem) -> None:
         if not item.future.set_running_or_notify_cancel():
             with self.lock:  # cancelled while queued
                 self.cancelled += 1
+                self._repay_busy(item)
             return
         try:
             report = self.session.run_prepared(
@@ -136,12 +163,22 @@ class _Shard:
         except BaseException as exc:
             with self.lock:
                 self.failed += 1
+                self._repay_busy(item)
             item.future.set_exception(exc)
         else:
             with self.lock:
                 self.completed += 1
+                self._repay_busy(item)
                 self.stage_times.append((item.neural_s, report.seconds))
             item.future.set_result(report)
+            # After set_result, and shielded: a defective cost model
+            # (user-supplied estimator) must never hang a caller or
+            # kill this worker thread — it only loses calibration.
+            if self.observe is not None:
+                try:
+                    self.observe(self, item, report)
+                except Exception:
+                    pass
 
 
 @dataclass
@@ -163,6 +200,8 @@ class ShardStats:
     prepare_calls: int
     cache: CacheStats
     makespan: PipelineResult
+    backend: str = "reason"  # substrate this shard executes on
+    busy_s: float = 0.0  # predicted seconds of unfinished admitted work
 
 
 @dataclass
@@ -286,10 +325,13 @@ class ReasonService:
     ----------
     shards:
         Number of accelerator instances (each with a private session
-        and compile cache).
+        and compile cache), or a sequence of backend names — e.g.
+        ``["reason", "reason", "gpu", "cpu"]`` — giving each shard its
+        substrate, so one service spans heterogeneous devices.
     policy:
         Scheduling policy name (``round-robin`` | ``least-loaded`` |
-        ``cache-affinity``) or a :class:`SchedulingPolicy` instance.
+        ``cache-affinity`` | ``predicted-makespan`` | ``cost-aware``)
+        or a :class:`SchedulingPolicy` instance.
     config:
         Architecture configuration shared by every shard.
     cache / cache_capacity:
@@ -301,19 +343,31 @@ class ReasonService:
         makespan composition in :meth:`stats` (None = unbounded; the
         default keeps memory and ``stats()`` cost constant on
         long-lived services).
+    cost_model:
+        The :class:`~repro.costmodel.CostEstimator` predicting request
+        costs at admission (a private one by default; pass a shared or
+        pre-warmed estimator to start routing on real numbers from the
+        first request).
     """
 
     def __init__(
         self,
-        shards: int = 2,
+        shards: Union[int, Sequence[str]] = 2,
         policy: Union[str, SchedulingPolicy] = "round-robin",
         config: ArchConfig = DEFAULT_CONFIG,
         cache: bool = True,
         cache_capacity: Optional[int] = None,
         max_queue: int = 128,
         stats_window: Optional[int] = 65536,
+        cost_model: Optional[CostEstimator] = None,
     ):
-        if shards < 1:
+        if isinstance(shards, int):
+            backends = ["reason"] * shards
+        else:
+            backends = [str(name) for name in shards]
+            for name in backends:
+                get_backend(name)  # fail fast on unknown substrates
+        if len(backends) < 1:
             raise ValueError("need at least one shard")
         if max_queue < 1:
             raise ValueError("admission queue must hold at least one request")
@@ -322,6 +376,7 @@ class ReasonService:
         self.config = config
         self.policy = get_policy(policy)
         self.max_queue = max_queue
+        self.cost_model = cost_model or CostEstimator(config=config)
         self._cache_enabled = cache
         self._shards = [
             _Shard(
@@ -329,8 +384,10 @@ class ReasonService:
                 ReasonSession(config=config, cache=cache, cache_capacity=cache_capacity),
                 max_queue,
                 stats_window,
+                backend=backend,
+                observe=self._observe,
             )
-            for index in range(shards)
+            for index, backend in enumerate(backends)
         ]
         self._closed = False
         self._admission_lock = threading.Lock()  # serializes policy.select
@@ -342,12 +399,31 @@ class ReasonService:
         return len(self._shards)
 
     @property
+    def shard_backends(self) -> List[str]:
+        """Each shard's substrate, by index."""
+        return [shard.backend for shard in self._shards]
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
     def session_of(self, shard_index: int) -> ReasonSession:
         """The session owned by one shard (introspection/tests)."""
         return self._shards[shard_index].session
+
+    def _observe(self, shard: _Shard, item: _WorkItem, report: ExecutionReport) -> None:
+        """Worker callback after every successful execution: feed the
+        cost model the observed report (and the compiled artifact from
+        the shard's cache, stats-neutrally) so predictions calibrate
+        online."""
+        artifact = shard.session.artifact_for(item.fingerprint)
+        self.cost_model.observe(
+            item.fingerprint,
+            kind=item.future.kind,
+            backend=item.backend,
+            report=report,
+            artifact=artifact,
+        )
 
     def __enter__(self) -> "ReasonService":
         return self
@@ -360,7 +436,7 @@ class ReasonService:
     def submit(
         self,
         kernel: object,
-        backend: str = "reason",
+        backend: Optional[str] = None,
         queries: int = 1,
         neural_s: float = 0.0,
         timeout: Optional[float] = None,
@@ -368,10 +444,13 @@ class ReasonService:
     ) -> ReasonFuture:
         """Admit one request; returns immediately with a future.
 
-        The policy picks a shard; if that shard's bounded queue is full,
-        the call blocks until space frees (backpressure).  ``timeout``
-        caps the wait — on expiry the request is rejected with
-        :class:`ServiceOverloaded` and no state changes.
+        ``backend=None`` (the default) runs the request on whatever
+        substrate the chosen shard owns; naming a backend forces it on
+        any shard.  The policy picks the shard; if that shard's bounded
+        queue is full, the call blocks until space frees
+        (backpressure).  ``timeout`` caps the wait — on expiry the
+        request is rejected with :class:`ServiceOverloaded` and no
+        state changes.
         """
         return self._submit(
             kernel, RunOptions(**option_kwargs), backend, queries, neural_s, timeout
@@ -380,7 +459,7 @@ class ReasonService:
     def submit_batch(
         self,
         kernels: Sequence[object],
-        backend: str = "reason",
+        backend: Optional[str] = None,
         queries: int = 1,
         neural_s: Union[float, Sequence[float]] = 0.0,
         calibrations: Optional[Sequence] = None,
@@ -427,7 +506,7 @@ class ReasonService:
         self,
         kernel: object,
         options: RunOptions,
-        backend: str,
+        backend: Optional[str],
         queries: int,
         neural_s: float,
         timeout: Optional[float],
@@ -438,6 +517,15 @@ class ReasonService:
             raise ValueError("queries must be >= 1")
         adapter = adapter_for(kernel)
         fingerprint = adapter.fingerprint(kernel, options, self.config)
+        # One prediction per substrate the request could land on: the
+        # forced backend, or every distinct shard backend.
+        eligible = {backend} if backend is not None else set(self.shard_backends)
+        predicted = {
+            name: self.cost_model.predict(
+                fingerprint, name, queries=queries, kind=adapter.kind
+            )
+            for name in eligible
+        }
         request = Request(
             kernel=kernel,
             options=options,
@@ -446,28 +534,53 @@ class ReasonService:
             backend=backend,
             queries=queries,
             neural_s=float(neural_s),
+            predicted=predicted,
         )
         with self._admission_lock:
             views = [
-                ShardView(shard.index, shard.pending, shard.completed)
+                ShardView(
+                    shard.index,
+                    shard.pending,
+                    shard.completed,
+                    shard.backend,
+                    shard.busy_s,
+                )
                 for shard in self._shards
             ]
             index = self.policy.select(request, views)
-        if not 0 <= index < len(self._shards):
-            raise IndexError(
-                f"policy {self.policy.name!r} chose shard {index} "
-                f"of {len(self._shards)}"
+            if not 0 <= index < len(self._shards):
+                raise IndexError(
+                    f"policy {self.policy.name!r} chose shard {index} "
+                    f"of {len(self._shards)}"
+                )
+            shard = self._shards[index]
+            resolved = backend if backend is not None else shard.backend
+            prediction = predicted.get(resolved)
+            predicted_s = prediction.seconds if prediction is not None else 0.0
+            future = ReasonFuture(
+                kind=adapter.kind,
+                fingerprint=fingerprint,
+                shard_index=index,
+                neural_s=float(neural_s),
             )
-        shard = self._shards[index]
-        future = ReasonFuture(
-            kind=adapter.kind,
-            fingerprint=fingerprint,
-            shard_index=index,
-            neural_s=float(neural_s),
-        )
-        item = _WorkItem(
-            kernel, options, backend, queries, float(neural_s), fingerprint, future
-        )
+            item = _WorkItem(
+                kernel,
+                options,
+                resolved,
+                queries,
+                float(neural_s),
+                fingerprint,
+                future,
+                predicted_s,
+            )
+            # Charge the placement while still holding the admission
+            # lock: the next policy.select must see this request in the
+            # shard's pending count and predicted busy time, or
+            # concurrent producers would all pick the same "idle"
+            # shard.  Rolled back on every rejection path below.
+            with shard.lock:
+                shard.submitted += 1
+                shard.busy_s += item.predicted_s
         # The shard's submit lock orders this enqueue against close()'s
         # shutdown sentinel: either we win and the worker serves the
         # item before exiting, or close() wins and the re-check rejects
@@ -479,26 +592,22 @@ class ReasonService:
         if not shard.submit_lock.acquire(
             timeout=-1 if timeout is None else timeout
         ):
+            self._rollback_admission(shard, item)
             raise ServiceOverloaded(
                 f"shard {index} admission blocked behind a full queue "
                 f"({self.max_queue} requests) for {timeout}s"
             )
         try:
             if self._closed:
+                self._rollback_admission(shard, item)
                 raise ServiceClosed("cannot submit to a closed ReasonService")
-            # Count the admission before the enqueue (rolled back on
-            # rejection) so the worker can never observe a completion
-            # for a request that isn't in `submitted` yet.
-            with shard.lock:
-                shard.submitted += 1
             try:
                 remaining = (
                     None if deadline is None else max(deadline - time.monotonic(), 0.0)
                 )
                 shard.queue.put(item, block=True, timeout=remaining)
             except queue.Full:
-                with shard.lock:
-                    shard.submitted -= 1
+                self._rollback_admission(shard, item)
                 raise ServiceOverloaded(
                     f"shard {index} admission queue full "
                     f"({self.max_queue} requests) after {timeout}s"
@@ -507,12 +616,20 @@ class ReasonService:
             shard.submit_lock.release()
         return future
 
+    @staticmethod
+    def _rollback_admission(shard: _Shard, item: _WorkItem) -> None:
+        """Undo the placement charged at selection time for a request
+        that was rejected before reaching the shard's queue."""
+        with shard.lock:
+            shard.submitted -= 1
+            shard._repay_busy(item)
+
     # ----------------------------------------------------------- execution
 
     async def run_batch(
         self,
         kernels: Sequence[object],
-        backend: str = "reason",
+        backend: Optional[str] = None,
         queries: int = 1,
         neural_s: Union[float, Sequence[float]] = 0.0,
         calibrations: Optional[Sequence] = None,
@@ -594,6 +711,7 @@ class ReasonService:
                     shard.completed,
                     shard.failed,
                     shard.cancelled,
+                    shard.busy_s,
                 )
                 times = list(shard.stage_times)
             shard_tasks.append(times)
@@ -603,7 +721,7 @@ class ReasonService:
         for (shard, counters, retained), makespan in zip(
             snapshots, composition.per_shard
         ):
-            submitted, completed, failed, cancelled = counters
+            submitted, completed, failed, cancelled, busy_s = counters
             stats.append(
                 ShardStats(
                     index=shard.index,
@@ -618,6 +736,8 @@ class ReasonService:
                     prepare_calls=shard.session.prepare_calls,
                     cache=shard.session.cache_stats,
                     makespan=makespan,
+                    backend=shard.backend,
+                    busy_s=busy_s,
                 )
             )
         return ServiceStats(

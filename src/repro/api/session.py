@@ -89,6 +89,18 @@ class ReasonSession:
         if self._cache is not None:
             self._cache.clear()
 
+    def artifact_for(self, fingerprint: str) -> Optional[CompiledArtifact]:
+        """The cached artifact behind one content-hash fingerprint, or
+        None when caching is off or the kernel was never compiled here.
+
+        Stats-neutral (:meth:`CompileCache.peek`): the serving layer
+        uses this to feed compile features to the cost model without
+        inflating the warm hit rate it also reports.
+        """
+        if self._cache is None:
+            return None
+        return self._cache.peek(fingerprint)
+
     def _backend(self, name: str) -> Backend:
         with self._lock:
             backend = self._backends.get(name)

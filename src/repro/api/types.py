@@ -85,6 +85,16 @@ class CompiledArtifact:
     compile_s: float = 0.0
     extras: Dict[str, object] = field(default_factory=dict)
 
+    def cost_features(self):
+        """Condense this artifact into the flat
+        :class:`~repro.costmodel.features.CostFeatures` record the
+        cost-model subsystem predicts from (schedule cycles, CDCL trace
+        ops, DAG size, roofline profile).  Imported lazily so the type
+        layer stays a leaf."""
+        from repro.costmodel.features import CostFeatures
+
+        return CostFeatures.from_artifact(self)
+
 
 @dataclass
 class BatchResult:

@@ -83,6 +83,13 @@ class DeviceModel:
         """Serialized execution time of a kernel sequence."""
         return sum(self.kernel_time_s(p) for p in profiles)
 
+    def kernel_energy_j(self, profile: KernelProfile) -> float:
+        """Energy of one kernel launch (the cost model's unit: busy
+        power scaled by the class's sustained activity)."""
+        activity = self.compute_efficiency[profile.kernel_class]
+        power = self.idle_w + (self.tdp_w - self.idle_w) * max(activity, 0.1)
+        return power * self.kernel_time_s(profile)
+
     def energy_j(self, profiles: Iterable[KernelProfile]) -> float:
         """Energy: busy power scaled by sustained utilization per kernel.
 
@@ -90,13 +97,7 @@ class DeviceModel:
         draw interpolates between idle and TDP with the compute
         efficiency as the activity factor.
         """
-        total = 0.0
-        for profile in profiles:
-            time_s = self.kernel_time_s(profile)
-            activity = self.compute_efficiency[profile.kernel_class]
-            power = self.idle_w + (self.tdp_w - self.idle_w) * max(activity, 0.1)
-            total += power * time_s
-        return total
+        return sum(self.kernel_energy_j(profile) for profile in profiles)
 
 
 def _eff(neural_gemm, neural_softmax, sparse, logic, marginal, bayesian) -> Dict[KernelClass, float]:
@@ -215,3 +216,15 @@ DPU_LIKE = DeviceModel(
 
 def all_devices() -> List[DeviceModel]:
     return [XEON_CPU, RTX_A6000, ORIN_NX, V100, A100, TPU_LIKE, DPU_LIKE]
+
+
+def device_named(name: str) -> DeviceModel:
+    """Look a device model up by (case-insensitive) name.  The cost
+    model falls back to this catalog for substrate names that aren't
+    registered backends, so it can price devices nothing serves yet."""
+    wanted = name.strip().lower()
+    for device in all_devices():
+        if device.name.lower() == wanted:
+            return device
+    known = ", ".join(device.name for device in all_devices())
+    raise KeyError(f"unknown device {name!r} (known: {known})")

@@ -5,7 +5,9 @@ import pytest
 from repro.api.adapters import RunOptions
 from repro.api.scheduler import (
     CacheAffinityPolicy,
+    CostAwarePlacementPolicy,
     LeastLoadedPolicy,
+    PredictedMakespanPolicy,
     Request,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -14,22 +16,30 @@ from repro.api.scheduler import (
     list_policies,
     register_policy,
 )
+from repro.costmodel import CostPrediction
 
 
-def request(fingerprint: str = "ab" * 32) -> Request:
+def request(
+    fingerprint: str = "ab" * 32, backend="reason", predicted=None
+) -> Request:
     return Request(
         kernel=None,
         options=RunOptions(),
         kind="cnf",
         fingerprint=fingerprint,
-        backend="reason",
+        backend=backend,
         queries=1,
         neural_s=0.0,
+        predicted=predicted,
     )
 
 
 def views(*pending) -> list:
     return [ShardView(i, p, 0) for i, p in enumerate(pending)]
+
+
+def prediction(backend, seconds, compile_s=0.0) -> CostPrediction:
+    return CostPrediction(backend=backend, seconds=seconds, compile_s=compile_s)
 
 
 class TestRoundRobin:
@@ -89,11 +99,134 @@ class TestCacheAffinity:
         assert 0 <= other < 4
 
 
+class TestShardViewCompat:
+    def test_positional_construction_still_works(self):
+        """Pre-cost-model callers built views as (index, pending,
+        completed); the new fields must default."""
+        view = ShardView(1, 4, 9)
+        assert (view.index, view.pending, view.completed) == (1, 4, 9)
+        assert view.backend == "reason"
+        assert view.busy_s == 0.0
+
+    def test_extended_construction(self):
+        view = ShardView(0, 1, 2, "gpu", 0.5)
+        assert view.backend == "gpu" and view.busy_s == 0.5
+
+
+class TestPredictedMakespan:
+    def test_balances_predicted_seconds_not_counts(self):
+        policy = PredictedMakespanPolicy()
+        shards = [
+            ShardView(0, pending=1, completed=0, busy_s=5.0),  # fewer, heavier
+            ShardView(1, pending=3, completed=0, busy_s=1.0),  # more, lighter
+        ]
+        req = request(predicted={"reason": prediction("reason", 1.0)})
+        assert policy.select(req, shards) == 1
+
+    def test_charges_per_substrate_execution_time(self):
+        policy = PredictedMakespanPolicy()
+        shards = [
+            ShardView(0, 0, 0, "reason", busy_s=2.0),
+            ShardView(1, 0, 0, "gpu", busy_s=0.0),
+        ]
+        # gpu is idle but slow for this kernel; loaded reason still wins.
+        req = request(
+            backend=None,
+            predicted={
+                "reason": prediction("reason", 1.0),
+                "gpu": prediction("gpu", 10.0),
+            }
+        )
+        assert policy.select(req, shards) == 0
+
+    def test_falls_back_to_least_loaded_without_predictions(self):
+        policy = PredictedMakespanPolicy()
+        assert policy.select(request(), views(3, 1, 2)) == 1
+
+    def test_ties_break_by_pending_then_index(self):
+        policy = PredictedMakespanPolicy()
+        shards = [ShardView(0, 2, 0, busy_s=1.0), ShardView(1, 1, 0, busy_s=1.0)]
+        req = request(predicted={"reason": prediction("reason", 1.0)})
+        assert policy.select(req, shards) == 1
+
+
+class TestCostAwarePlacement:
+    def test_routes_to_fastest_substrate(self):
+        policy = CostAwarePlacementPolicy()
+        shards = [
+            ShardView(0, 0, 0, "cpu"),
+            ShardView(1, 0, 0, "reason"),
+            ShardView(2, 0, 0, "gpu"),
+        ]
+        req = request(
+            backend=None,
+            predicted={
+                "cpu": prediction("cpu", 9.0),
+                "reason": prediction("reason", 1.0),
+                "gpu": prediction("gpu", 4.0),
+            },
+        )
+        assert policy.select(req, shards) == 1
+
+    def test_spills_to_slower_substrate_under_load(self):
+        policy = CostAwarePlacementPolicy()
+        shards = [
+            ShardView(0, 0, 0, "reason", busy_s=10.0),  # fast but saturated
+            ShardView(1, 0, 0, "gpu", busy_s=0.0),
+        ]
+        req = request(
+            backend=None,
+            predicted={
+                "reason": prediction("reason", 1.0),
+                "gpu": prediction("gpu", 4.0),
+            },
+        )
+        assert policy.select(req, shards) == 1
+
+    def test_compile_penalty_keeps_repeats_on_the_warm_shard(self):
+        policy = CostAwarePlacementPolicy()
+        shards = [ShardView(0, 0, 0, "reason"), ShardView(1, 0, 0, "reason")]
+        predicted = {"reason": prediction("reason", 1.0, compile_s=5.0)}
+        first = policy.select(request("aa", predicted=predicted), shards)
+        assert first == 0  # tie → lowest index, now owns the artifact
+        # Same kernel again, shard 0 slightly busier: the cold shard
+        # would re-pay the 5s front end, so the warm shard still wins.
+        busier = [ShardView(0, 0, 0, "reason", busy_s=2.0), shards[1]]
+        assert policy.select(request("aa", predicted=predicted), busier) == 0
+        # A different kernel has no warm home; load decides (shard 1).
+        assert policy.select(request("bb", predicted=predicted), busier) == 1
+
+    def test_cold_start_burst_sticks_to_one_shard(self):
+        """With only default (no-signal) predictions, repeats of a
+        never-seen kernel must not spread across every cold cache."""
+        policy = CostAwarePlacementPolicy()
+        cold = {"reason": CostPrediction(backend="reason", seconds=1e-4)}
+        assert cold["reason"].source == "default"
+        shards = [ShardView(0, 0, 0), ShardView(1, 0, 0)]
+        first = policy.select(request("aa", predicted=cold), shards)
+        # Busy time accrued on the first shard would otherwise push
+        # the identical repeat onto the cold one.
+        busier = [ShardView(0, 1, 0, busy_s=1e-4), ShardView(1, 0, 0)]
+        assert policy.select(request("aa", predicted=cold), busier) == first
+
+    def test_falls_back_to_least_loaded_without_predictions(self):
+        policy = CostAwarePlacementPolicy()
+        assert policy.select(request(), views(2, 2, 1)) == 2
+
+
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"round-robin", "least-loaded", "cache-affinity"} <= set(
-            list_policies()
-        )
+        assert {
+            "round-robin",
+            "least-loaded",
+            "cache-affinity",
+            "predicted-makespan",
+            "cost-aware",
+        } <= set(list_policies())
+
+    def test_listing_is_sorted(self):
+        names = list_policies()
+        assert names == sorted(names)
 
     def test_get_by_name_returns_fresh_instances(self):
         assert get_policy("round-robin") is not get_policy("round-robin")
@@ -102,9 +235,19 @@ class TestRegistry:
         policy = LeastLoadedPolicy()
         assert get_policy(policy) is policy
 
-    def test_unknown_name_rejected(self):
-        with pytest.raises(KeyError):
+    def test_unknown_name_rejected_with_catalog(self):
+        with pytest.raises(KeyError) as excinfo:
             get_policy("fifo-of-destiny")
+        message = str(excinfo.value)
+        assert "fifo-of-destiny" in message
+        for name in list_policies():
+            assert name in message
+
+    def test_non_string_spec_rejected_with_type_error(self):
+        with pytest.raises(TypeError):
+            get_policy(42)
+        with pytest.raises(TypeError):
+            get_policy(None)
 
     def test_register_custom_policy(self):
         class Fixed(SchedulingPolicy):

@@ -1,0 +1,202 @@
+"""Cost-model subsystem: features, static predictions, calibration."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import ReasonSession
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.backends import DeviceBackend
+from repro.api.types import ExecutionReport
+from repro.baselines.device import KernelClass, RTX_A6000
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.costmodel import Calibrator, CostEstimator
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit
+
+
+def compiled(kernel, session=None):
+    session = session or ReasonSession()
+    options = RunOptions()
+    adapter = adapter_for(kernel)
+    fingerprint = adapter.fingerprint(kernel, options, session.config)
+    artifact = session.compile(kernel)
+    return session, fingerprint, artifact
+
+
+def fake_artifact(schedule_cycles=1000, compile_s=0.25):
+    """Duck-typed artifact: exactly what CostFeatures.from_artifact reads."""
+    profile = SimpleNamespace(
+        kernel_class=KernelClass.MARGINAL, flops=2e4, bytes_accessed=8e4, launches=1
+    )
+    stats = SimpleNamespace(cycles=schedule_cycles)
+    return SimpleNamespace(
+        kind="dag",
+        profile=profile,
+        compile_stats=stats,
+        solver=None,
+        dag=None,
+        model=None,
+        compile_s=compile_s,
+    )
+
+
+def report(seconds, queries=1, energy_j=0.0, compile_s=0.0, backend="reason"):
+    return ExecutionReport(
+        backend=backend,
+        kernel="dag",
+        result=1.0,
+        cycles=0,
+        seconds=seconds,
+        energy_j=energy_j,
+        queries=queries,
+        compile_s=compile_s,
+    )
+
+
+class TestCostFeatures:
+    def test_logic_kernel_features(self):
+        _, _, artifact = compiled(random_ksat(14, 45, seed=0))
+        features = artifact.cost_features()
+        assert features.kind == "cnf"
+        assert features.kernel_class is KernelClass.LOGIC
+        assert features.trace_ops > 0  # recorded CDCL work
+        assert features.schedule_cycles == 0  # no VLIW schedule for logic
+        assert features.num_nodes > 0 and features.num_edges > 0
+        assert features.compile_s > 0.0
+
+    def test_dag_kernel_features(self):
+        _, _, artifact = compiled(random_circuit(4, depth=2, seed=1))
+        features = artifact.cost_features()
+        assert features.kind == "circuit"
+        assert features.schedule_cycles > 0
+        assert features.trace_ops == 0
+        assert features.num_nodes == artifact.dag.num_nodes
+        # The compiler's flat schedule features ride along.
+        assert features.schedule_features == artifact.compile_stats.cost_features()
+        assert features.schedule_features["cycles"] == features.schedule_cycles
+        profile = features.profile
+        assert profile.flops == features.flops
+        assert profile.kernel_class is features.kernel_class
+
+    def test_compile_stats_expose_cost_features(self):
+        _, _, artifact = compiled(random_circuit(4, depth=2, seed=2))
+        flat = artifact.compile_stats.cost_features()
+        assert flat["cycles"] == artifact.compile_stats.cycles
+        assert 0.0 <= flat["issue_efficiency"] <= 1.0
+        assert flat["num_blocks"] > 0
+
+
+class TestStaticPrediction:
+    def test_device_prediction_matches_device_backend_exactly(self):
+        """The static model *is* the analytic device backend's model."""
+        session, fingerprint, artifact = compiled(random_circuit(4, depth=2, seed=3))
+        estimator = CostEstimator()
+        estimator.record_artifact(fingerprint, artifact)
+        executed = DeviceBackend(RTX_A6000, name="gpu").run(artifact, queries=7)
+        predicted = estimator.predict(fingerprint, "gpu", queries=7)
+        assert predicted.seconds == pytest.approx(executed.seconds, rel=1e-12)
+        assert predicted.energy_j == pytest.approx(executed.energy_j, rel=1e-12)
+        assert predicted.source == "features"
+
+    def test_reason_prediction_scales_with_schedule_cycles(self):
+        estimator = CostEstimator()
+        estimator.record_artifact("f1", fake_artifact(schedule_cycles=1000))
+        one = estimator.predict("f1", "reason")
+        assert one.seconds == pytest.approx(1000 * DEFAULT_CONFIG.cycle_time_s)
+        assert estimator.predict("f1", "reason", queries=6).seconds == pytest.approx(
+            6 * one.seconds
+        )
+        assert one.compile_s == pytest.approx(0.25)
+
+    def test_catalog_devices_priced_without_a_registered_backend(self):
+        """Substrate names that aren't backends resolve through the
+        device catalog, so the estimator can price a V100 nothing
+        serves yet."""
+        from repro.baselines.device import V100, device_named
+
+        estimator = CostEstimator()
+        estimator.record_artifact("f1", fake_artifact())
+        prediction = estimator.predict("f1", "V100")
+        features = estimator.features_for("f1")
+        assert prediction.seconds == pytest.approx(
+            V100.kernel_time_s(features.profile)
+        )
+        assert device_named("v100") is V100
+        with pytest.raises(KeyError):
+            device_named("abacus")
+
+    def test_unknown_fingerprint_falls_back_to_default(self):
+        estimator = CostEstimator(default_s=1e-3)
+        prediction = estimator.predict("never-seen", "reason", queries=3)
+        assert prediction.seconds == pytest.approx(3e-3)
+        assert prediction.source == "default"
+
+    def test_class_prior_fills_unmodeled_backends(self):
+        """`software` has no static model: the (kind, backend) EWMA
+        learned from one fingerprint prices another of the same kind."""
+        estimator = CostEstimator()
+        estimator.observe("fa", "cnf", "software", report(0.02, queries=2))
+        prediction = estimator.predict("fb", "software", kind="cnf", queries=4)
+        assert prediction.source == "class-prior"
+        assert prediction.seconds == pytest.approx(0.04)  # 0.01/query x 4
+
+
+class TestCalibration:
+    def test_predictions_improve_monotonically_on_synthetic_trace(self):
+        """Seed the EWMA with one bad outlier, then feed the true cost:
+        the residual error must shrink on every observation."""
+        estimator = CostEstimator(calibrator=Calibrator(alpha=0.5))
+        estimator.record_artifact("f1", fake_artifact(schedule_cycles=1000))
+        raw = estimator.predict("f1", "reason").seconds
+        true_s = 3.0 * raw
+        estimator.observe("f1", "dag", "reason", report(10.0 * raw))  # outlier
+        errors = []
+        for _ in range(6):
+            errors.append(abs(estimator.predict("f1", "reason").seconds - true_s))
+            estimator.observe("f1", "dag", "reason", report(true_s))
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < 0.05 * errors[0]
+        assert estimator.predict("f1", "reason").source == "calibrated"
+
+    def test_round_trip_on_real_kernel_is_exact_after_one_observation(self):
+        session, fingerprint, artifact = compiled(random_ksat(14, 45, seed=4))
+        observed = session.run(random_ksat(14, 45, seed=4), queries=5)
+        estimator = CostEstimator(config=session.config)
+        estimator.observe(fingerprint, "cnf", "reason", observed, artifact=artifact)
+        predicted = estimator.predict(fingerprint, "reason", queries=5)
+        assert predicted.seconds == pytest.approx(observed.seconds, rel=1e-9)
+        assert predicted.energy_j == pytest.approx(observed.energy_j, rel=1e-9)
+
+    def test_energy_and_compile_learned_from_reports(self):
+        estimator = CostEstimator()
+        estimator.observe(
+            "f1", "cnf", "reason", report(1e-3, energy_j=2e-4, compile_s=0.5)
+        )
+        prediction = estimator.predict("f1", "reason", kind="cnf", queries=2)
+        assert prediction.energy_j == pytest.approx(4e-4)
+        assert prediction.compile_s == pytest.approx(0.5)
+
+    def test_fingerprint_residual_beats_class_residual(self):
+        calibrator = Calibrator(alpha=1.0)
+        calibrator.observe("fa", "cnf", "reason", observed_s=2.0, raw_s=1.0)
+        calibrator.observe("fb", "cnf", "reason", observed_s=8.0, raw_s=1.0)
+        assert calibrator.residual("fa", "cnf", "reason") == pytest.approx(2.0)
+        assert calibrator.residual("fb", "cnf", "reason") == pytest.approx(8.0)
+        # Unseen fingerprint of the same kind: class-level EWMA.
+        assert calibrator.residual("fc", "cnf", "reason") == pytest.approx(8.0)
+        # Unseen kind entirely: identity.
+        assert calibrator.residual("fc", "hmm", "reason") == pytest.approx(1.0)
+
+    def test_calibrator_lifecycle(self):
+        with pytest.raises(ValueError):
+            Calibrator(alpha=0.0)
+        calibrator = Calibrator()
+        calibrator.observe("fa", "cnf", "reason", observed_s=1.0, raw_s=2.0)
+        assert calibrator.stats.observations == 1
+        assert calibrator.stats.fingerprints == 1
+        assert calibrator.has_fingerprint("fa", "reason")
+        calibrator.reset()
+        assert calibrator.stats.observations == 0
+        assert not calibrator.has_fingerprint("fa", "reason")
+        assert calibrator.class_seconds("cnf", "reason") is None
