@@ -1,0 +1,968 @@
+"""Frozen pre-optimization hot-path implementations (PR 4 baseline).
+
+`bench_hotpath.py` proves two things about the hot-path overhaul: the
+optimized stack is faster, and it is *bit-identical*.  Both claims need
+the pre-optimization code to still be runnable, so this module keeps
+verbatim copies of the interpreted hot layers as they existed before
+the overhaul:
+
+* dict-based CDCL solver internals (``GoldenCDCLSolver``);
+* per-event accelerator replay and per-instruction program execution
+  with one ``EnergyModel.record`` call per event;
+* per-word watched-literals traversal and SRAM accounting;
+* rescan-based list scheduler with O(values) spill-victim scans;
+* unmemoized DAG/circuit topological orders and per-input circuit flow
+  evaluation.
+
+``golden_patches()`` swaps them into the live modules so a stock
+:class:`~repro.api.session.ReasonSession` executes the old path — the
+benchmark then times and cross-checks both paths in one process.
+
+This module is a measurement fixture, not production code: do not
+import it outside the benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.arch.config import ArchConfig
+from repro.core.arch.energy import EnergyModel
+from repro.core.arch.interconnect import Topology, broadcast_cycles
+from repro.core.arch.tree_pe import PEMode
+from repro.core.arch.watched_literals import WatchedLiteralsUnit
+from repro.core.compiler.blocks import (
+    Block,
+    _validate_blocks,
+    block_dependencies,
+    topological_block_order,
+)
+from repro.core.compiler.mapping import BankAssignment, issue_conflicts
+from repro.core.compiler.program import InstructionKind, Program, VLIWInstruction
+from repro.core.compiler.schedule import ScheduleStats
+from repro.core.compiler.tree_map import TreePlacement, map_block_to_tree
+from repro.core.dag.graph import Dag, OpType
+from repro.logic.cdcl import CDCLSolver, _Clause
+from repro.logic.cnf import CNF, Literal, var_of
+from repro.pc.circuit import Circuit, ProductNode, SumNode
+from repro.pc.inference import Evidence, _evaluate_all
+
+_LEAF_OPS = {OpType.LITERAL, OpType.LEAF, OpType.INPUT}
+
+EdgeKey = Tuple[int, int]
+
+
+# --------------------------------------------------------------------- solver
+
+
+class GoldenCDCLSolver(CDCLSolver):
+    """The CDCL solver with its pre-overhaul dict-based internals."""
+
+    def _initialize(self, formula: CNF, assumptions: Sequence[Literal] = ()) -> None:
+        from repro.logic.cdcl import CDCLStats
+
+        self.stats = CDCLStats()
+        self.trace = []
+        self._num_vars = formula.num_vars
+        self._clauses = []
+        self._watches: Dict[Literal, List[_Clause]] = {}
+        self._assign: Dict[int, bool] = {}
+        self._level: Dict[int, int] = {}
+        self._reason: Dict[int, Optional[_Clause]] = {}
+        self._trail = []
+        self._trail_lim = []
+        self._activity = {v: 0.0 for v in range(1, formula.num_vars + 1)}
+        self._activity_inc = 1.0
+        self._qhead = 0
+        self._pending = []
+        for clause in formula.clauses:
+            if not clause.is_tautology:
+                self._pending.append(_Clause(list(clause.literals)))
+
+    def _model(self) -> Dict[int, bool]:
+        return dict(self._assign)
+
+    def _watch(self, lit: Literal, clause: _Clause) -> None:
+        self._watches.setdefault(lit, []).append(clause)
+
+    def _value(self, lit: Literal) -> Optional[bool]:
+        value = self._assign.get(var_of(lit))
+        if value is None:
+            return None
+        return value == (lit > 0)
+
+    def _enqueue(self, lit: Literal, reason: Optional[_Clause]) -> None:
+        variable = var_of(lit)
+        self._assign[variable] = lit > 0
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        head = min(self._qhead, len(self._trail))
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit, [])
+            self._watches[false_lit] = []
+            idx = 0
+            while idx < len(watchers):
+                clause = watchers[idx]
+                idx += 1
+                self.stats.clause_fetches += 1
+                if clause.lits[0] == false_lit:
+                    clause.lits[0], clause.lits[1] = clause.lits[1], clause.lits[0]
+                first = clause.lits[0]
+                if self._value(first) is True:
+                    self._watch(false_lit, clause)
+                    continue
+                found = False
+                for pos in range(2, len(clause.lits)):
+                    if self._value(clause.lits[pos]) is not False:
+                        clause.lits[1], clause.lits[pos] = clause.lits[pos], clause.lits[1]
+                        self._watch(clause.lits[1], clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                self._watch(false_lit, clause)
+                if self._value(first) is False:
+                    self._watches[false_lit].extend(watchers[idx:])
+                    self._qhead = len(self._trail)
+                    return clause
+                self.stats.propagations += 1
+                self._emit(
+                    "imply",
+                    literal=first,
+                    level=self._decision_level(),
+                    clause_size=len(clause.lits),
+                )
+                self._enqueue(first, reason=clause)
+        self._qhead = head
+        return None
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[Literal], int]:
+        current_level = self._decision_level()
+        seen: set = set()
+        learned: List[Literal] = []
+        counter = 0
+        lit: Optional[Literal] = None
+        reason: Optional[_Clause] = conflict
+        trail_idx = len(self._trail) - 1
+
+        while True:
+            assert reason is not None
+            reason.activity += self._activity_inc
+            for q in reason.lits:
+                if lit is not None and q == lit:
+                    continue
+                variable = var_of(q)
+                if variable in seen or self._level.get(variable, 0) == 0:
+                    continue
+                seen.add(variable)
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while trail_idx >= 0 and var_of(self._trail[trail_idx]) not in seen:
+                trail_idx -= 1
+            if trail_idx < 0:
+                break
+            lit = self._trail[trail_idx]
+            variable = var_of(lit)
+            seen.discard(variable)
+            trail_idx -= 1
+            counter -= 1
+            if counter == 0:
+                learned.insert(0, -lit)
+                break
+            reason = self._reason.get(variable)
+            if reason is None:
+                learned.insert(0, -lit)
+                break
+
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted({self._level[var_of(q)] for q in learned[1:]}, reverse=True)
+        backjump = levels[0] if levels else 0
+        for pos in range(1, len(learned)):
+            if self._level[var_of(learned[pos])] == backjump:
+                learned[1], learned[pos] = learned[pos], learned[1]
+                break
+        return learned, backjump
+
+    def _backjump(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        cut = self._trail_lim[level]
+        for lit in self._trail[cut:]:
+            variable = var_of(lit)
+            self._assign.pop(variable, None)
+            self._level.pop(variable, None)
+            self._reason.pop(variable, None)
+        del self._trail[cut:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+        self._emit("backjump", level=level)
+
+    def _reduce_clause_db(self) -> None:
+        learned = [c for c in self._clauses if c.learned]
+        learned.sort(key=lambda c: c.activity)
+        locked = {id(r) for r in self._reason.values() if r is not None}
+        to_delete = {
+            id(c)
+            for c in learned[: len(learned) // 2]
+            if id(c) not in locked and len(c.lits) > 2
+        }
+        if not to_delete:
+            return
+        self.stats.deleted_clauses += len(to_delete)
+        self._clauses = [c for c in self._clauses if id(c) not in to_delete]
+        for lit in list(self._watches):
+            self._watches[lit] = [c for c in self._watches[lit] if id(c) not in to_delete]
+
+    def _pick_branch_literal(self) -> Optional[Literal]:
+        best_var: Optional[int] = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if variable in self._assign:
+                continue
+            activity = self._activity.get(variable, 0.0)
+            if activity > best_activity:
+                best_var, best_activity = variable, activity
+        if best_var is None:
+            return None
+        return best_var
+
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] = self._activity.get(variable, 0.0) + self._activity_inc
+        if self._activity[variable] > 1e100:
+            for v in self._activity:
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+
+# ----------------------------------------------------------------- execution
+
+
+class GoldenEnergyModel(EnergyModel):
+    """Pre-overhaul energy model: dict counts summed in insertion order.
+
+    The overhaul switched ``total_energy_pj`` to a fixed canonical
+    event order; float addition is not associative, so the identity
+    gate must compare against the original first-recorded-event-first
+    summation to genuinely cover ``energy_j``/``power_w``.
+    """
+
+    def __init__(self, config=None, energies=None):
+        super().__init__(config=config, energies=energies)
+        self._counts: Dict[str, int] = {}
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return self._counts
+
+    def record(self, event: str, count: int = 1) -> None:
+        if not hasattr(self.energies, event):
+            raise KeyError(f"unknown energy event: {event}")
+        self._counts[event] = self._counts.get(event, 0) + count
+
+    def merge(self, other) -> None:
+        for event, count in other.counts.items():
+            self._counts[event] = self._counts.get(event, 0) + count
+
+    def total_energy_pj(self) -> float:
+        return sum(
+            getattr(self.energies, event) * count
+            for event, count in self._counts.items()
+        )
+
+
+class GoldenWatchedLiteralsUnit(WatchedLiteralsUnit):
+    """Watch-list unit with per-word traversal on every assignment."""
+
+    def on_assignment(self, literal: int) -> Tuple[List[Tuple[int, ...]], int]:
+        if not self.config.linked_list_layout:
+            self.stats.full_scans += 1
+            clauses = [
+                record.literals
+                for record in self._records.values()
+                if literal in record.literals[:2]
+            ]
+            words = self._next_address
+            self.stats.sram_words_touched += words
+            self.stats.clause_fetches += len(clauses)
+            if self.sram:
+                for i in range(0, max(words, 1), 16):
+                    self.sram.read(i % self.config.sram_banks, 1)
+            return clauses, max(1, words // (2 * self.config.sram_banks))
+
+        self.stats.head_lookups += 1
+        address = self._head.get(literal)
+        clauses: List[Tuple[int, ...]] = []
+        cycles = 1
+        misses = 0
+        while address is not None:
+            record = self._records[address]
+            self.stats.list_traversal_steps += 1
+            self.stats.clause_fetches += 1
+            words = len(record.literals) + 1
+            self.stats.sram_words_touched += words
+            if self.sram:
+                self.sram.read(address % self.config.sram_banks, 1)
+            if not record.resident:
+                misses += 1
+                self.stats.local_misses += 1
+            clauses.append(record.literals)
+            cycles += 1
+            address = record.next_watch.get(literal)
+        return clauses, cycles + misses * self.config.dram_latency_cycles
+
+
+def golden_replay(self, formula, solver, record_events, max_events):
+    """Pre-overhaul ``ReasonAccelerator._replay``: per-event accounting."""
+    from repro.core.arch.accelerator import PipelineEvent, SymbolicExecutionTrace
+
+    for pe in self.pes:
+        pe.set_mode(PEMode.SYMBOLIC)
+    self.wl_unit.load_formula(formula)
+
+    trace = SymbolicExecutionTrace()
+    tree_hops = broadcast_cycles(Topology.TREE, self.config.leaves_per_pe)
+    cycle = 0
+
+    def log(unit: str, text: str) -> None:
+        if record_events and len(trace.events) < max_events:
+            trace.events.append(PipelineEvent(cycle, unit, text))
+
+    pending_dma = None
+    for event in solver.trace:
+        if event.kind == "decide":
+            trace.decisions += 1
+            cycle += int(tree_hops)
+            self.energy.record("network_hop", self.config.leaves_per_pe)
+            self.energy.record("control_overhead")
+            log("broadcast", f"decide literal {event.literal}")
+            clauses, access = self.wl_unit.on_assignment(-event.literal)
+            cycle += access if self.config.pipelined_scheduling else access * 2
+            self.energy.record("logic_op", len(clauses))
+            log("wl", f"{len(clauses)} watched clauses inspected")
+        elif event.kind == "imply":
+            trace.implications += 1
+            if self.fifo.is_empty:
+                cycle += int(tree_hops)
+            else:
+                cycle += 1
+            if not self.fifo.push(event.literal):
+                cycle += 1
+                self.fifo.pop()
+                self.fifo.push(event.literal)
+            self.energy.record("fifo_op")
+            self.energy.record("network_hop")
+            log("reduction", f"imply literal {event.literal}")
+            popped = self.fifo.pop()
+            if popped is not None:
+                clauses, access = self.wl_unit.on_assignment(-popped[0])
+                if access > self.config.dram_latency_cycles:
+                    pending_dma = self.dma.issue(cycle, words=len(clauses) * 4 + 4)
+                    hidden = min(len(self.fifo), self.config.dram_latency_cycles)
+                    cycle += max(1, access - hidden)
+                    log("dma", "watch-list miss, DMA fetch in flight")
+                else:
+                    cycle += access if self.config.pipelined_scheduling else access * 2
+                self.energy.record("logic_op", max(len(clauses), 1))
+        elif event.kind == "conflict":
+            trace.conflicts += 1
+            cycle += int(tree_hops)
+            dropped = self.fifo.flush()
+            trace.fifo_flushes += 1
+            if pending_dma is not None:
+                trace.dma_cancelled += self.dma.cancel_pending(cycle)
+                pending_dma = None
+            cycle += 1
+            self.energy.record("control_overhead", 2)
+            log("control", f"conflict: flushed {dropped} pending implications")
+        elif event.kind == "backjump":
+            cycle += 2
+            log("control", f"backjump to level {event.level}")
+        elif event.kind == "restart":
+            cycle += self.config.pipeline_stages
+            log("control", "restart")
+
+    trace.cycles = cycle
+    return trace, solver
+
+
+def golden_run_program(self, program, inputs=None, mode=PEMode.PROBABILISTIC):
+    """Pre-overhaul ``ReasonAccelerator.run_program``."""
+    from repro.core.arch.accelerator import ExecutionReport
+
+    inputs = dict(inputs or {})
+    values: Dict[int, float] = dict(inputs)
+    stalls = 0
+    switch_penalty = 0
+    max_finish = 0
+
+    for pe in self.pes:
+        if pe.mode is not mode:
+            switch_penalty += pe.mode_switch_penalty()
+        pe.set_mode(mode)
+
+    for instruction in program.instructions:
+        if instruction.kind is InstructionKind.COMPUTE:
+            pe = self.pes[instruction.pe % len(self.pes)]
+            leaf_values = {}
+            for position, value_id in instruction.leaf_operands.items():
+                if value_id not in values:
+                    raise KeyError(f"input value for DAG node {value_id} missing")
+                leaf_values[position] = values[value_id]
+            result = pe.execute_config(instruction.tree_config, leaf_values)
+            values[instruction.output_value] = result
+            self.energy.record("register_access", len(instruction.reads) + 1)
+            self.energy.record("network_hop", len(instruction.leaf_operands))
+            self.energy.record("control_overhead")
+            finish = instruction.issue_cycle + self.config.pipeline_stages
+            max_finish = max(max_finish, finish)
+        elif instruction.kind in (InstructionKind.LOAD, InstructionKind.RELOAD):
+            self.energy.record("sram_access")
+            self.energy.record("register_access")
+        elif instruction.kind in (InstructionKind.STORE, InstructionKind.SPILL):
+            self.energy.record("sram_access")
+            self.energy.record("register_access")
+            stalls += 1
+        elif instruction.kind is InstructionKind.NOP:
+            stalls += 1
+
+    cycles = max(max_finish, len(program.instructions)) + switch_penalty
+    root = values.get(program.root_value) if program.root_value is not None else None
+    utilization = (
+        sum(pe.stats.active_node_ops for pe in self.pes)
+        / max(1, sum(pe.stats.instructions for pe in self.pes) * self.config.nodes_per_pe)
+    )
+    return ExecutionReport(
+        result=root,
+        cycles=cycles,
+        energy_j=self.energy.total_energy_j(),
+        power_w=self.energy.average_power_w(cycles),
+        utilization=utilization,
+        instructions=len(program.instructions),
+        stalls=stalls,
+    )
+
+
+def golden_execute_config(self, configs, leaf_values):
+    """Pre-overhaul ``TreePE.execute_config`` with per-op energy calls."""
+    from repro.core.arch.tree_pe import _apply_op
+
+    self.stats.instructions += 1
+    values: Dict[int, float] = dict(leaf_values)
+    by_position = {c.position: c for c in configs}
+    for position in sorted(by_position, reverse=True):
+        config = by_position[position]
+        left = values.get(2 * position + 1)
+        right = values.get(2 * position + 2)
+        if config.is_forward:
+            self.stats.forward_ops += 1
+            if position in values:
+                continue
+            live = left if left is not None else right
+            if live is None:
+                raise ValueError(f"forward node {position} has no input")
+            values[position] = live
+            continue
+        self.stats.active_node_ops += 1
+        if self.energy:
+            event = (
+                "logic_op"
+                if config.op in (OpType.AND, OpType.OR, OpType.NOT)
+                else "alu_op"
+            )
+            self.energy.record(event)
+        operands = [v for v in (left, right) if v is not None]
+        if not operands:
+            raise ValueError(f"op node {position} has no inputs")
+        values[position] = _apply_op(config, operands)
+    if 0 not in values:
+        raise ValueError("block did not produce a root value")
+    return values[0]
+
+
+# ------------------------------------------------------------------ compiler
+
+
+def golden_topological_order(self, roots=None):
+    """Pre-overhaul (unmemoized) ``Dag.topological_order``."""
+    if roots is None:
+        if self.root is None:
+            raise ValueError("DAG has no root")
+        roots = [self.root]
+    order: List[int] = []
+    state: Dict[int, int] = {}
+    stack: List[Tuple[int, bool]] = [(r, False) for r in roots]
+    while stack:
+        node_id, processed = stack.pop()
+        if processed:
+            state[node_id] = 1
+            order.append(node_id)
+            continue
+        if node_id in state:
+            if state[node_id] == 0:
+                raise ValueError("cycle detected in DAG")
+            continue
+        state[node_id] = 0
+        stack.append((node_id, True))
+        for child in self._nodes[node_id].children:
+            if state.get(child) != 1:
+                if state.get(child) == 0:
+                    raise ValueError("cycle detected in DAG")
+                stack.append((child, False))
+    seen: set = set()
+    unique: List[int] = []
+    for node_id in order:
+        if node_id not in seen:
+            seen.add(node_id)
+            unique.append(node_id)
+    return unique
+
+
+def golden_circuit_topological_order(self):
+    """Pre-overhaul (recursive, uncached) ``Circuit.topological_order``."""
+    order = []
+    visited: set = set()
+
+    def visit(node) -> None:
+        if node.node_id in visited:
+            return
+        visited.add(node.node_id)
+        for child in node.children:
+            visit(child)
+        order.append(node)
+
+    visit(self.root)
+    return order
+
+
+def golden_node_flows(circuit: Circuit, evidence: Evidence) -> Dict[int, float]:
+    """Pre-overhaul per-input interpreted flow pass."""
+    values = _evaluate_all(circuit, evidence)
+    flows: Dict[int, float] = {
+        node.node_id: 0.0 for node in circuit.topological_order()
+    }
+    flows[circuit.root.node_id] = 1.0
+    for node in reversed(circuit.topological_order()):
+        flow = flows[node.node_id]
+        if flow == 0.0:
+            continue
+        if isinstance(node, SumNode):
+            parent_value = values[node.node_id]
+            if parent_value == 0.0:
+                continue
+            for child, weight in zip(node.children, node.weights):
+                share = weight * values[child.node_id] / parent_value
+                flows[child.node_id] += share * flow
+        elif isinstance(node, ProductNode):
+            for child in node.children:
+                flows[child.node_id] += flow
+    return flows
+
+
+def golden_edge_flows(circuit: Circuit, evidence: Evidence) -> Dict[EdgeKey, float]:
+    values = _evaluate_all(circuit, evidence)
+    flows = golden_node_flows(circuit, evidence)
+    out: Dict[EdgeKey, float] = {}
+    for node in circuit.topological_order():
+        if not isinstance(node, SumNode):
+            continue
+        parent_value = values[node.node_id]
+        for child, weight in zip(node.children, node.weights):
+            if parent_value > 0:
+                share = weight * values[child.node_id] / parent_value
+            else:
+                share = 0.0
+            out[(node.node_id, child.node_id)] = share * flows[node.node_id]
+    return out
+
+
+def golden_dataset_edge_flows(
+    circuit: Circuit, dataset: Iterable[Evidence]
+) -> Tuple[Dict[EdgeKey, float], int]:
+    totals: Dict[EdgeKey, float] = {}
+    count = 0
+    for evidence in dataset:
+        count += 1
+        for key, value in golden_edge_flows(circuit, evidence).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals, count
+
+
+class _GoldenBankFile:
+    """Pre-overhaul bank file: O(resident values) spill-victim scans."""
+
+    def __init__(self, num_banks: int, regs_per_bank: int):
+        self.regs_per_bank = regs_per_bank
+        self._free: List[List[int]] = [
+            list(range(regs_per_bank)) for _ in range(num_banks)
+        ]
+        for heap in self._free:
+            heapq.heapify(heap)
+        self.address_of: Dict[int, Tuple[int, int]] = {}
+        self.spilled: Set[int] = set()
+
+    def allocate(self, value: int, bank: int) -> Optional[Tuple[int, int]]:
+        if not self._free[bank]:
+            return None
+        addr = heapq.heappop(self._free[bank])
+        self.address_of[value] = (bank, addr)
+        self.spilled.discard(value)
+        return (bank, addr)
+
+    def release(self, value: int) -> None:
+        located = self.address_of.pop(value, None)
+        if located is not None:
+            bank, addr = located
+            heapq.heappush(self._free[bank], addr)
+
+    def evict(self, value: int) -> Tuple[int, int]:
+        located = self.address_of.pop(value)
+        bank, addr = located
+        heapq.heappush(self._free[bank], addr)
+        self.spilled.add(value)
+        return located
+
+    def resident(self, value: int) -> bool:
+        return value in self.address_of
+
+    def values_in_bank(self, bank: int) -> List[int]:
+        return [v for v, (b, _) in self.address_of.items() if b == bank]
+
+
+def golden_schedule_program(
+    dag: Dag,
+    blocks: Sequence[Block],
+    assignment: BankAssignment,
+    config: ArchConfig,
+) -> Tuple[Program, ScheduleStats]:
+    """Pre-overhaul list scheduler: full pending rescan every cycle."""
+    ordered = topological_block_order(dag, blocks)
+    deps = block_dependencies(dag, blocks)
+    placements: Dict[int, TreePlacement] = {
+        block.block_id: map_block_to_tree(dag, block, config.tree_depth)
+        for block in blocks
+    }
+
+    last_use: Dict[int, int] = {}
+    for index, block in enumerate(ordered):
+        for value in block.inputs:
+            last_use[value] = index
+
+    banks = _GoldenBankFile(config.num_banks, config.regs_per_bank)
+    program = Program(num_blocks=len(blocks))
+    stats = ScheduleStats()
+    next_use_index: Dict[int, int] = dict(last_use)
+
+    def ensure_resident(value: int, position: int) -> List[VLIWInstruction]:
+        issued: List[VLIWInstruction] = []
+        if banks.resident(value):
+            return issued
+        bank = assignment.bank_of.get(value, value % config.num_banks)
+        slot = banks.allocate(value, bank)
+        while slot is None:
+            victims = banks.values_in_bank(bank)
+            victim = max(
+                victims,
+                key=lambda v: next_use_index.get(v, len(ordered) + 1),
+            )
+            where = banks.evict(victim)
+            issued.append(
+                VLIWInstruction(
+                    InstructionKind.SPILL,
+                    reads=[where],
+                    comment=f"spill value {victim}",
+                )
+            )
+            stats.spills += 1
+            slot = banks.allocate(value, bank)
+        node = dag.node(value) if value in dag else None
+        if node is not None and node.op in _LEAF_OPS:
+            issued.append(
+                VLIWInstruction(
+                    InstructionKind.LOAD,
+                    write=slot,
+                    comment=f"load leaf {value}",
+                )
+            )
+            stats.loads += 1
+        elif value in banks.spilled:
+            issued.append(
+                VLIWInstruction(
+                    InstructionKind.RELOAD, write=slot, comment=f"reload {value}"
+                )
+            )
+            stats.reloads += 1
+        return issued
+
+    finish_cycle: Dict[int, int] = {}
+    cycle = 0
+    pending = list(range(len(ordered)))
+    issued_index: Set[int] = set()
+
+    while pending:
+        progressed = False
+        free_pes = config.num_pes
+        issue_this_cycle: List[int] = []
+        for index in pending:
+            if free_pes == 0:
+                break
+            block = ordered[index]
+            ready_at = 0
+            for dep in deps[block.block_id]:
+                if dep not in finish_cycle:
+                    ready_at = None
+                    break
+                ready_at = max(ready_at, finish_cycle[dep])
+            if ready_at is None or ready_at > cycle:
+                continue
+            if not config.pipelined_scheduling and finish_cycle:
+                if max(finish_cycle.values()) > cycle:
+                    continue
+            issue_this_cycle.append(index)
+            free_pes -= 1
+
+        for slot, index in enumerate(issue_this_cycle):
+            block = ordered[index]
+            for value in block.inputs:
+                node = dag.node(value)
+                if node.op in _LEAF_OPS and not banks.resident(value):
+                    program.instructions.extend(ensure_resident(value, index))
+            conflicts = issue_conflicts(assignment, block)
+            stats.stalls_bank_conflict += conflicts
+            reads = [
+                banks.address_of.get(value, (assignment.bank_of.get(value, 0), 0))
+                for value in block.inputs
+            ]
+            out_bank = assignment.bank_of.get(
+                block.output, block.output % config.num_banks
+            )
+            out_slot = banks.allocate(block.output, out_bank)
+            while out_slot is None:
+                victims = banks.values_in_bank(out_bank)
+                victim = max(
+                    victims, key=lambda v: next_use_index.get(v, len(ordered) + 1)
+                )
+                where = banks.evict(victim)
+                program.instructions.append(
+                    VLIWInstruction(
+                        InstructionKind.SPILL,
+                        reads=[where],
+                        comment=f"spill {victim}",
+                    )
+                )
+                stats.spills += 1
+                out_slot = banks.allocate(block.output, out_bank)
+            instruction = VLIWInstruction(
+                InstructionKind.COMPUTE,
+                block_id=block.block_id,
+                reads=reads,
+                write=out_slot,
+                tree_config=placements[block.block_id].configs,
+                issue_cycle=cycle,
+                pe=slot,
+                comment=f"block {block.block_id}",
+                leaf_operands=dict(placements[block.block_id].leaf_operands),
+                output_value=block.output,
+            )
+            program.instructions.append(instruction)
+            finish_cycle[block.block_id] = cycle + config.pipeline_stages + conflicts
+            issued_index.add(index)
+            progressed = True
+            for value in block.inputs:
+                if last_use.get(value) == index:
+                    banks.release(value)
+
+        pending = [i for i in pending if i not in issued_index]
+        stats.pe_issue_slots += config.num_pes
+        if not progressed:
+            program.instructions.append(
+                VLIWInstruction(InstructionKind.NOP, issue_cycle=cycle, comment="hazard")
+            )
+            stats.nops += 1
+        cycle += 1
+
+    stats.cycles = max(finish_cycle.values(), default=0)
+    program.value_locations = dict(banks.address_of)
+    program.root_value = dag.root
+    return program, stats
+
+
+def golden_decompose_blocks(dag: Dag, max_depth: int) -> List[Block]:
+    """Pre-overhaul block decomposition with list-membership scans."""
+    if dag.max_fan_in() > 2:
+        raise ValueError("block decomposition requires a two-input DAG")
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+
+    parents = dag.parents_map()
+    order = dag.topological_order()
+    placement: Dict[int, Tuple[int, int]] = {}
+    blocks: List[Block] = []
+    materialized: Set[int] = set()
+
+    for node_id in order:
+        node = dag.node(node_id)
+        if node.op in _LEAF_OPS:
+            materialized.add(node_id)
+            continue
+
+        mergeable: List[int] = []
+        depths: List[int] = []
+        for child in node.children:
+            if child in materialized:
+                depths.append(0)
+                continue
+            child_block, child_depth = placement[child]
+            if len(parents[child]) > 1:
+                materialized.add(child)
+                depths.append(0)
+                continue
+            mergeable.append(child_block)
+            depths.append(child_depth)
+
+        new_depth = 1 + max(depths, default=0)
+        if new_depth > max_depth:
+            for child in node.children:
+                materialized.add(child)
+            mergeable = []
+            new_depth = 1
+
+        if mergeable:
+            target = blocks[mergeable[0]]
+            for other_id in dict.fromkeys(mergeable[1:]):
+                if other_id == target.block_id:
+                    continue
+                other = blocks[other_id]
+                target.nodes.extend(other.nodes)
+                target.inputs.extend(
+                    i for i in other.inputs if i not in target.inputs
+                )
+                for moved in other.nodes:
+                    placement[moved] = (target.block_id, placement[moved][1])
+                other.nodes = []
+                other.inputs = []
+        else:
+            target = Block(block_id=len(blocks))
+            blocks.append(target)
+
+        target.nodes.append(node_id)
+        for child in node.children:
+            if child in materialized and child not in target.inputs:
+                target.inputs.append(child)
+        target.output = node_id
+        target.depth = max(target.depth, new_depth)
+        placement[node_id] = (target.block_id, new_depth)
+
+    if dag.root is not None:
+        materialized.add(dag.root)
+
+    live = [b for b in blocks if b.nodes]
+    _validate_blocks(dag, live, max_depth)
+    return live
+
+
+def golden_map_operands_to_banks(
+    dag: Dag, blocks: Sequence[Block], num_banks: int
+) -> BankAssignment:
+    """Pre-overhaul bank mapper with min()+lambda bank selection."""
+    if num_banks < 1:
+        raise ValueError("need at least one bank")
+
+    neighbors: Dict[int, Set[int]] = {}
+    for block in blocks:
+        group = list(dict.fromkeys(block.inputs))
+        for value in group:
+            neighbors.setdefault(value, set())
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+    for block in blocks:
+        neighbors.setdefault(block.output, set())
+
+    assignment = BankAssignment(num_banks=num_banks)
+    occupancy = [0] * num_banks
+
+    for value in sorted(neighbors, key=lambda v: (-len(neighbors[v]), v)):
+        taken = {
+            assignment.bank_of[n]
+            for n in neighbors[value]
+            if n in assignment.bank_of
+        }
+        candidates = [b for b in range(num_banks) if b not in taken]
+        if candidates:
+            bank = min(candidates, key=lambda b: (occupancy[b], b))
+        else:
+            bank = min(range(num_banks), key=lambda b: (occupancy[b], b))
+            assignment.conflicts += 1
+        assignment.bank_of[value] = bank
+        occupancy[bank] += 1
+
+    return assignment
+
+
+# ------------------------------------------------------------------- patches
+
+
+@contextmanager
+def golden_patches():
+    """Swap the frozen implementations into the live modules."""
+    import repro.api.adapters as adapters
+    import repro.core.arch.accelerator as accelerator_mod
+    import repro.core.compiler.driver as driver_mod
+    import repro.core.dag.pruning as pruning_mod
+    from repro.core.arch.accelerator import ReasonAccelerator
+    from repro.core.arch.tree_pe import TreePE
+
+    saved = {
+        "adapter_solver": adapters.CDCLSolver,
+        "energy_model": accelerator_mod.EnergyModel,
+        "wl_unit": accelerator_mod.WatchedLiteralsUnit,
+        "replay": ReasonAccelerator._replay,
+        "run_program": ReasonAccelerator.run_program,
+        "execute_config": TreePE.execute_config,
+        "schedule": driver_mod.schedule_program,
+        "decompose": driver_mod.decompose_blocks,
+        "mapping": driver_mod.map_operands_to_banks,
+        "dataset_edge_flows": pruning_mod.dataset_edge_flows,
+        "dag_topo": Dag.topological_order,
+        "circuit_topo": Circuit.topological_order,
+    }
+    adapters.CDCLSolver = GoldenCDCLSolver
+    accelerator_mod.EnergyModel = GoldenEnergyModel
+    accelerator_mod.WatchedLiteralsUnit = GoldenWatchedLiteralsUnit
+    ReasonAccelerator._replay = golden_replay
+    ReasonAccelerator.run_program = golden_run_program
+    TreePE.execute_config = golden_execute_config
+    driver_mod.schedule_program = golden_schedule_program
+    driver_mod.decompose_blocks = golden_decompose_blocks
+    driver_mod.map_operands_to_banks = golden_map_operands_to_banks
+    pruning_mod.dataset_edge_flows = golden_dataset_edge_flows
+    Dag.topological_order = golden_topological_order
+    Circuit.topological_order = golden_circuit_topological_order
+    try:
+        yield
+    finally:
+        adapters.CDCLSolver = saved["adapter_solver"]
+        accelerator_mod.EnergyModel = saved["energy_model"]
+        accelerator_mod.WatchedLiteralsUnit = saved["wl_unit"]
+        ReasonAccelerator._replay = saved["replay"]
+        ReasonAccelerator.run_program = saved["run_program"]
+        TreePE.execute_config = saved["execute_config"]
+        driver_mod.schedule_program = saved["schedule"]
+        driver_mod.decompose_blocks = saved["decompose"]
+        driver_mod.map_operands_to_banks = saved["mapping"]
+        pruning_mod.dataset_edge_flows = saved["dataset_edge_flows"]
+        Dag.topological_order = saved["dag_topo"]
+        Circuit.topological_order = saved["circuit_topo"]

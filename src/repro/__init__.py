@@ -40,7 +40,7 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     Backend,

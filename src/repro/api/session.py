@@ -134,16 +134,16 @@ class ReasonSession:
         config) so serving layers don't hash the kernel twice.
         """
         adapter = adapter_for(kernel)
-        if key is None:
-            key = adapter.fingerprint(kernel, options, self.config)
         if self._cache is not None:
+            if key is None:
+                key = adapter.fingerprint(kernel, options, self.config)
             cached = self._cache.get(key)
             if cached is not None:
                 return cached, True
         start = time.perf_counter()
         artifact = adapter.prepare(kernel, options, self.config)
         artifact.compile_s = time.perf_counter() - start
-        artifact.key = key
+        artifact.key = key or ""
         with self._lock:
             self._prepare_calls += 1
         if self._cache is not None:

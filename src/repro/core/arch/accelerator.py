@@ -112,9 +112,24 @@ class ReasonAccelerator:
                 switch_penalty += pe.mode_switch_penalty()
             pe.set_mode(mode)
 
+        # Per-instruction event counts accumulate locally and flush to
+        # the energy model in one aggregate update after the loop.
+        register_events = 0
+        network_hops = 0
+        compute_count = 0
+        memory_ops = 0
+        pes = self.pes
+        num_pes = len(pes)
+        pipeline_stages = self.config.pipeline_stages
+        kind_compute = InstructionKind.COMPUTE
+        kind_load = InstructionKind.LOAD
+        kind_reload = InstructionKind.RELOAD
+        kind_nop = InstructionKind.NOP
+
         for instruction in program.instructions:
-            if instruction.kind is InstructionKind.COMPUTE:
-                pe = self.pes[instruction.pe % len(self.pes)]
+            kind = instruction.kind
+            if kind is kind_compute:
+                pe = pes[instruction.pe % num_pes]
                 leaf_values = {}
                 for position, value_id in instruction.leaf_operands.items():
                     if value_id not in values:
@@ -125,20 +140,25 @@ class ReasonAccelerator:
                 result = pe.execute_config(instruction.tree_config, leaf_values)
                 values[instruction.output_value] = result
                 # Register traffic: operand reads + one write-back.
-                self.energy.record("register_access", len(instruction.reads) + 1)
-                self.energy.record("network_hop", len(instruction.leaf_operands))
-                self.energy.record("control_overhead")
-                finish = instruction.issue_cycle + self.config.pipeline_stages
-                max_finish = max(max_finish, finish)
-            elif instruction.kind in (InstructionKind.LOAD, InstructionKind.RELOAD):
-                self.energy.record("sram_access")
-                self.energy.record("register_access")
-            elif instruction.kind in (InstructionKind.STORE, InstructionKind.SPILL):
-                self.energy.record("sram_access")
-                self.energy.record("register_access")
+                register_events += len(instruction.reads) + 1
+                network_hops += len(instruction.leaf_operands)
+                compute_count += 1
+                finish = instruction.issue_cycle + pipeline_stages
+                if finish > max_finish:
+                    max_finish = finish
+            elif kind is kind_load or kind is kind_reload:
+                memory_ops += 1
+            elif kind is kind_nop:
                 stalls += 1
-            elif instruction.kind is InstructionKind.NOP:
+            else:  # STORE / SPILL
+                memory_ops += 1
                 stalls += 1
+
+        energy = self.energy
+        energy.register_access += register_events + memory_ops
+        energy.network_hop += network_hops
+        energy.control_overhead += compute_count
+        energy.sram_access += memory_ops
 
         cycles = max(max_finish, len(program.instructions)) + switch_penalty
         root = values.get(program.root_value) if program.root_value is not None else None
@@ -193,70 +213,190 @@ class ReasonAccelerator:
         self.wl_unit.load_formula(formula)
 
         trace = SymbolicExecutionTrace()
-        tree_hops = broadcast_cycles(Topology.TREE, self.config.leaves_per_pe)
+        tree_hops = int(broadcast_cycles(Topology.TREE, self.config.leaves_per_pe))
         cycle = 0
 
         def log(unit: str, text: str) -> None:
-            if record_events and len(trace.events) < max_events:
+            if len(trace.events) < max_events:
                 trace.events.append(PipelineEvent(cycle, unit, text))
+
+        # Hot loop: replay charges each event from its literal's cached
+        # watch summary and accumulates bookkeeping in local counters,
+        # flushing to the energy model / WL unit / SRAM banks once at
+        # the end — the aggregates are exactly the per-event totals.
+        config = self.config
+        wl = self.wl_unit
+        summary_for = wl.summary_for
+        fifo = self.fifo
+        queue = fifo._queue
+        fifo_stats = fifo.stats
+        fifo_depth = fifo.depth
+        pipelined = config.pipelined_scheduling
+        dram_latency = config.dram_latency_cycles
+        leaves_per_pe = config.leaves_per_pe
+
+        decisions = 0
+        implications = 0
+        conflicts = 0
+        fifo_flushes = 0
+        network_hops = 0
+        control_events = 0
+        logic_ops = 0
+        fifo_ops = 0
+        pushes = 0
+        pops = 0
+        overflow_stalls = 0
+        flushes = 0
+        entries_flushed = 0
+        max_occupancy = fifo_stats.max_occupancy
+        # Traversal statistics are identical for every assignment of the
+        # same literal, so the loop keeps one record per literal —
+        # [clause count, access cycles, traversals] — and the full
+        # per-event accounting is reconstructed afterwards.  The record
+        # lookup is intentionally inlined (not a helper) in both the
+        # imply and decide branches; keep the two blocks identical.
+        lit_state: Dict[int, List[int]] = {}
 
         pending_dma = None
         for event in solver.trace:
-            if event.kind == "decide":
-                trace.decisions += 1
-                cycle += int(tree_hops)  # broadcast decision to leaves
-                self.energy.record("network_hop", self.config.leaves_per_pe)
-                self.energy.record("control_overhead")
-                log("broadcast", f"decide literal {event.literal}")
-                clauses, access = self.wl_unit.on_assignment(-event.literal)
-                cycle += access if self.config.pipelined_scheduling else access * 2
-                self.energy.record("logic_op", len(clauses))
-                log("wl", f"{len(clauses)} watched clauses inspected")
-            elif event.kind == "imply":
-                trace.implications += 1
+            kind = event.kind
+            if kind == "imply":
+                implications += 1
                 # Implication returns through the reduction tree; queued
                 # implications pipeline at one per cycle (Fig. 9).
-                if self.fifo.is_empty:
-                    cycle += int(tree_hops)
-                else:
+                if queue:
                     cycle += 1
-                if not self.fifo.push(event.literal):
+                else:
+                    cycle += tree_hops
+                if len(queue) >= fifo_depth:
+                    overflow_stalls += 1
                     cycle += 1  # overflow stall, retry
-                    self.fifo.pop()
-                    self.fifo.push(event.literal)
-                self.energy.record("fifo_op")
-                self.energy.record("network_hop")
-                log("reduction", f"imply literal {event.literal}")
-                popped = self.fifo.pop()
-                if popped is not None:
-                    clauses, access = self.wl_unit.on_assignment(-popped[0])
-                    if access > self.config.dram_latency_cycles:
-                        # Local miss: DMA fetch, partially hidden by
-                        # continuing to service the FIFO.
-                        pending_dma = self.dma.issue(cycle, words=len(clauses) * 4 + 4)
-                        hidden = min(len(self.fifo), self.config.dram_latency_cycles)
-                        cycle += max(1, access - hidden)
+                    queue.popleft()
+                    pops += 1
+                queue.append((event.literal, -1))
+                pushes += 1
+                occupancy = len(queue)
+                if occupancy > max_occupancy:
+                    max_occupancy = occupancy
+                fifo_ops += 1
+                network_hops += 1
+                if record_events:
+                    log("reduction", f"imply literal {event.literal}")
+                # The queue is non-empty here, so the pop always yields.
+                popped = queue.popleft()
+                pops += 1
+                literal = -popped[0]
+                state = lit_state.get(literal)
+                if state is None:
+                    summary = summary_for(literal)
+                    state = [len(summary.clauses), summary.access_cycles, 1]
+                    lit_state[literal] = state
+                else:
+                    state[2] += 1
+                num_clauses = state[0]
+                access = state[1]
+                if access > dram_latency:
+                    # Local miss: DMA fetch, partially hidden by
+                    # continuing to service the FIFO.
+                    pending_dma = self.dma.issue(cycle, words=num_clauses * 4 + 4)
+                    hidden = min(len(queue), dram_latency)
+                    cycle += max(1, access - hidden)
+                    if record_events:
                         log("dma", "watch-list miss, DMA fetch in flight")
-                    else:
-                        cycle += access if self.config.pipelined_scheduling else access * 2
-                    self.energy.record("logic_op", max(len(clauses), 1))
-            elif event.kind == "conflict":
-                trace.conflicts += 1
-                cycle += int(tree_hops)  # conflict propagates to the root
-                dropped = self.fifo.flush()
-                trace.fifo_flushes += 1
+                else:
+                    cycle += access if pipelined else access * 2
+                logic_ops += max(num_clauses, 1)
+            elif kind == "decide":
+                decisions += 1
+                cycle += tree_hops  # broadcast decision to leaves
+                network_hops += leaves_per_pe
+                control_events += 1
+                if record_events:
+                    log("broadcast", f"decide literal {event.literal}")
+                literal = -event.literal
+                state = lit_state.get(literal)
+                if state is None:
+                    summary = summary_for(literal)
+                    state = [len(summary.clauses), summary.access_cycles, 1]
+                    lit_state[literal] = state
+                else:
+                    state[2] += 1
+                num_clauses = state[0]
+                cycle += state[1] if pipelined else state[1] * 2
+                logic_ops += num_clauses
+                if record_events:
+                    log("wl", f"{num_clauses} watched clauses inspected")
+            elif kind == "conflict":
+                conflicts += 1
+                cycle += tree_hops  # conflict propagates to the root
+                dropped = len(queue)
+                queue.clear()
+                flushes += 1
+                entries_flushed += dropped
+                fifo_flushes += 1
                 if pending_dma is not None:
                     trace.dma_cancelled += self.dma.cancel_pending(cycle)
                     pending_dma = None
                 cycle += 1  # priority control assertion
-                self.energy.record("control_overhead", 2)
-                log("control", f"conflict: flushed {dropped} pending implications")
-            elif event.kind == "backjump":
+                control_events += 2
+                if record_events:
+                    log("control", f"conflict: flushed {dropped} pending implications")
+            elif kind == "backjump":
                 cycle += 2  # trail unwinding bookkeeping on the scalar PE
-                log("control", f"backjump to level {event.level}")
-            elif event.kind == "restart":
-                cycle += self.config.pipeline_stages
-                log("control", "restart")
+                if record_events:
+                    log("control", f"backjump to level {event.level}")
+            elif kind == "restart":
+                cycle += config.pipeline_stages
+                if record_events:
+                    log("control", "restart")
+
+        trace.decisions = decisions
+        trace.implications = implications
+        trace.conflicts = conflicts
+        trace.fifo_flushes = fifo_flushes
+
+        fifo_stats.pushes += pushes
+        fifo_stats.pops += pops
+        fifo_stats.overflow_stalls += overflow_stalls
+        fifo_stats.flushes += flushes
+        fifo_stats.entries_flushed += entries_flushed
+        fifo_stats.max_occupancy = max_occupancy
+
+        energy = self.energy
+        energy.network_hop += network_hops
+        energy.control_overhead += control_events
+        energy.logic_op += logic_ops
+        energy.fifo_op += fifo_ops
+
+        head_lookups = 0
+        traversal_steps = 0
+        clause_fetches = 0
+        words_touched = 0
+        wl_misses = 0
+        full_scans = 0
+        bank_reads: Dict[int, int] = {}
+        for literal, (_, _, times) in lit_state.items():
+            summary = summary_for(literal)
+            num_clauses = len(summary.clauses)
+            if summary.full_scan:
+                full_scans += times
+            else:
+                head_lookups += times
+                traversal_steps += times * num_clauses
+                wl_misses += times * summary.misses
+            clause_fetches += times * num_clauses
+            words_touched += times * summary.words_touched
+            for bank, count in summary.bank_reads:
+                bank_reads[bank] = bank_reads.get(bank, 0) + times * count
+        wl.charge_bulk(
+            head_lookups,
+            traversal_steps,
+            clause_fetches,
+            words_touched,
+            wl_misses,
+            full_scans,
+            bank_reads,
+        )
 
         trace.cycles = cycle
         return trace, solver

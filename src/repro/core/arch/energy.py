@@ -11,8 +11,8 @@ and 8 nm, reproducing Table III's REASON* rows.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 
@@ -48,26 +48,91 @@ class EventEnergies:
     control_overhead: float = 0.3  # per issued instruction (decode etc.)
 
 
-@dataclass
-class EnergyModel:
-    """Accumulates event counts and reports energy / power / area."""
+#: Canonical event order: the :class:`EventEnergies` fields.  Energy
+#: totals always sum in this order so they are deterministic regardless
+#: of the order events were recorded in.
+EVENT_NAMES: Tuple[str, ...] = (
+    "alu_op",
+    "logic_op",
+    "register_access",
+    "sram_access",
+    "scratchpad_access",
+    "dram_access",
+    "network_hop",
+    "fifo_op",
+    "control_overhead",
+)
+_EVENT_SET = frozenset(EVENT_NAMES)
 
-    config: ArchConfig = field(default_factory=lambda: DEFAULT_CONFIG)
-    energies: EventEnergies = field(default_factory=EventEnergies)
-    counts: Dict[str, int] = field(default_factory=dict)
+
+class EnergyModel:
+    """Accumulates event counts and reports energy / power / area.
+
+    Counters are plain ``int`` attributes (one per event in
+    :data:`EVENT_NAMES`), so hot loops can accumulate locally and flush
+    with a single ``model.sram_access += n`` instead of paying a method
+    call and a ``hasattr`` check per event.  :meth:`record` /
+    :meth:`record_many` remain the validated general-purpose API.
+    """
+
+    __slots__ = ("config", "energies") + EVENT_NAMES
+
+    def __init__(
+        self,
+        config: Optional[ArchConfig] = None,
+        energies: Optional[EventEnergies] = None,
+    ):
+        self.config = DEFAULT_CONFIG if config is None else config
+        self.energies = EventEnergies() if energies is None else energies
+        self.alu_op = 0
+        self.logic_op = 0
+        self.register_access = 0
+        self.sram_access = 0
+        self.scratchpad_access = 0
+        self.dram_access = 0
+        self.network_hop = 0
+        self.fifo_op = 0
+        self.control_overhead = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Non-zero event counts (compatibility view of the counters)."""
+        return {
+            event: count
+            for event in EVENT_NAMES
+            if (count := getattr(self, event))
+        }
 
     def record(self, event: str, count: int = 1) -> None:
-        if not hasattr(self.energies, event):
+        if event not in _EVENT_SET:
             raise KeyError(f"unknown energy event: {event}")
-        self.counts[event] = self.counts.get(event, 0) + count
+        setattr(self, event, getattr(self, event) + count)
+
+    def record_many(self, items: Iterable[Tuple[str, int]]) -> None:
+        """Batch-accumulate ``(event, count)`` pairs in one call."""
+        for event, count in items:
+            if event not in _EVENT_SET:
+                raise KeyError(f"unknown energy event: {event}")
+            setattr(self, event, getattr(self, event) + count)
 
     def merge(self, other: "EnergyModel") -> None:
-        for event, count in other.counts.items():
-            self.counts[event] = self.counts.get(event, 0) + count
+        for event in EVENT_NAMES:
+            count = getattr(other, event)
+            if count:
+                setattr(self, event, getattr(self, event) + count)
 
     def total_energy_pj(self) -> float:
-        return sum(
-            getattr(self.energies, event) * count for event, count in self.counts.items()
+        e = self.energies
+        return (
+            e.alu_op * self.alu_op
+            + e.logic_op * self.logic_op
+            + e.register_access * self.register_access
+            + e.sram_access * self.sram_access
+            + e.scratchpad_access * self.scratchpad_access
+            + e.dram_access * self.dram_access
+            + e.network_hop * self.network_hop
+            + e.fifo_op * self.fifo_op
+            + e.control_overhead * self.control_overhead
         )
 
     def total_energy_j(self) -> float:

@@ -55,6 +55,30 @@ class SramBanks:
         self.stats.bank_conflicts += new_conflicts
         return new_conflicts
 
+    def read_batch(self, bank_counts: Dict[int, int]) -> int:
+        """Accumulate a burst of reads given per-bank word counts.
+
+        Equivalent to calling :meth:`read` once per word but in one
+        pass: conflict accounting telescopes (each bank's stall count
+        depends only on its running total), so the aggregate update is
+        exact.  Banks must already be normalized modulo ``sram_banks``.
+        Returns the new conflict stalls caused by the burst.
+        """
+        cycle_reads = self._cycle_reads
+        total = 0
+        conflicts = 0
+        for bank, count in bank_counts.items():
+            before = cycle_reads.get(bank, 0)
+            after = before + count
+            cycle_reads[bank] = after
+            total += count
+            conflicts += max(0, after - 2) - max(0, before - 2)
+        self.stats.sram_reads += total
+        self.stats.bank_conflicts += conflicts
+        if self.energy:
+            self.energy.sram_access += total
+        return conflicts
+
     def write(self, bank: int, count: int = 1) -> None:
         self.stats.sram_writes += count
         if self.energy:

@@ -80,13 +80,29 @@ class TreePE:
         """
         self.stats.instructions += 1
         values: Dict[int, float] = dict(leaf_values)
-        by_position = {c.position: c for c in configs}
-        for position in sorted(by_position, reverse=True):
-            config = by_position[position]
-            left = values.get(2 * position + 1)
-            right = values.get(2 * position + 2)
+        # Compiler placements arrive sorted ascending with unique
+        # positions; reuse that order directly and only fall back to
+        # the dedup + sort for arbitrary config lists.
+        if all(a.position < b.position for a, b in zip(configs, configs[1:])):
+            ordered = list(configs)
+            ordered.reverse()
+        else:
+            by_position = {c.position: c for c in configs}
+            ordered = [
+                by_position[position]
+                for position in sorted(by_position, reverse=True)
+            ]
+        forward_ops = 0
+        logic_ops = 0
+        alu_ops = 0
+        logic_op_types = (OpType.AND, OpType.OR, OpType.NOT)
+        values_get = values.get
+        for config in ordered:
+            position = config.position
+            left = values_get(2 * position + 1)
+            right = values_get(2 * position + 2)
             if config.is_forward:
-                self.stats.forward_ops += 1
+                forward_ops += 1
                 if position in values:
                     continue  # leaf-level forward: operand already injected
                 live = left if left is not None else right
@@ -94,14 +110,19 @@ class TreePE:
                     raise ValueError(f"forward node {position} has no input")
                 values[position] = live
                 continue
-            self.stats.active_node_ops += 1
-            if self.energy:
-                event = "logic_op" if config.op in (OpType.AND, OpType.OR, OpType.NOT) else "alu_op"
-                self.energy.record(event)
+            if config.op in logic_op_types:
+                logic_ops += 1
+            else:
+                alu_ops += 1
             operands = [v for v in (left, right) if v is not None]
             if not operands:
                 raise ValueError(f"op node {position} has no inputs")
             values[position] = _apply_op(config, operands)
+        self.stats.forward_ops += forward_ops
+        self.stats.active_node_ops += logic_ops + alu_ops
+        if self.energy:
+            self.energy.logic_op += logic_ops
+            self.energy.alu_op += alu_ops
         if 0 not in values:
             raise ValueError("block did not produce a root value")
         return values[0]

@@ -39,6 +39,24 @@ class _ClauseRecord:
     resident: bool = True  # cached in local SRAM vs remote scratchpad/DRAM
 
 
+@dataclass(frozen=True)
+class WatchSummary:
+    """Precomputed outcome of traversing one literal's watch list.
+
+    Watch lists are static between :meth:`WatchedLiteralsUnit.load_formula`
+    calls, so the clause list, cycle cost and per-bank SRAM read pattern
+    of an assignment are pure functions of the literal — computed once,
+    then replayed as O(1) aggregate accounting per event.
+    """
+
+    clauses: Tuple[Tuple[int, ...], ...]
+    access_cycles: int
+    words_touched: int
+    misses: int
+    bank_reads: Tuple[Tuple[int, int], ...]  # (bank, words) pairs
+    full_scan: bool = False
+
+
 class WatchedLiteralsUnit:
     """Hardware watch-list indexing over a clause database."""
 
@@ -56,6 +74,8 @@ class WatchedLiteralsUnit:
         self._records: Dict[int, _ClauseRecord] = {}
         self._next_address = 0
         self._num_clauses = 0
+        self._summaries: Dict[int, WatchSummary] = {}
+        self._scan_banks: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def load_formula(self, formula: CNF) -> None:
         """Build head-pointer table and linked clause records.
@@ -69,6 +89,8 @@ class WatchedLiteralsUnit:
         self._records = {}
         self._next_address = 0
         self._num_clauses = len(formula.clauses)
+        self._summaries = {}
+        self._scan_banks = None
         resident_limit = int(self._num_clauses * self.resident_fraction)
         for index, clause in enumerate(formula.clauses):
             watched = clause.literals[:2] if len(clause) >= 2 else clause.literals
@@ -90,6 +112,107 @@ class WatchedLiteralsUnit:
         """Words of SRAM the layout occupies (head table + records)."""
         return len(self._head) + self._next_address
 
+    def summary_for(self, literal: int) -> WatchSummary:
+        """The (cached) traversal outcome for ``literal`` becoming false.
+
+        Pure: computes the clause list, cycle cost and SRAM read pattern
+        without charging any statistics or energy — callers account via
+        :meth:`charge` (single event) or :meth:`charge_bulk` (aggregated
+        over a batch of assignments).
+        """
+        summary = self._summaries.get(literal)
+        if summary is not None:
+            return summary
+        banks = self.config.sram_banks
+        if not self.config.linked_list_layout:
+            clauses = tuple(
+                record.literals
+                for record in self._records.values()
+                if literal in record.literals[:2]
+            )
+            words = self._next_address
+            if self._scan_banks is None:
+                pattern: Dict[int, int] = {}
+                for i in range(0, max(words, 1), 16):
+                    bank = (i % banks) % max(banks, 1)
+                    pattern[bank] = pattern.get(bank, 0) + 1
+                self._scan_banks = tuple(pattern.items())
+            summary = WatchSummary(
+                clauses=clauses,
+                # Scanning cost: clause database size / bank parallelism.
+                access_cycles=max(1, words // (2 * banks)),
+                words_touched=words,
+                misses=0,
+                bank_reads=self._scan_banks,
+                full_scan=True,
+            )
+        else:
+            address = self._head.get(literal)
+            clauses_list: List[Tuple[int, ...]] = []
+            words = 0
+            misses = 0
+            reads: Dict[int, int] = {}
+            while address is not None:
+                record = self._records[address]
+                words += len(record.literals) + 1
+                bank = (address % banks) % max(banks, 1)
+                reads[bank] = reads.get(bank, 0) + 1
+                if not record.resident:
+                    misses += 1
+                clauses_list.append(record.literals)
+                address = record.next_watch.get(literal)
+            summary = WatchSummary(
+                clauses=tuple(clauses_list),
+                # Head-pointer access, one hop per clause, DRAM per miss.
+                access_cycles=1
+                + len(clauses_list)
+                + misses * self.config.dram_latency_cycles,
+                words_touched=words,
+                misses=misses,
+                bank_reads=tuple(reads.items()),
+            )
+        self._summaries[literal] = summary
+        return summary
+
+    def charge(self, summary: WatchSummary) -> None:
+        """Account one assignment's traversal (stats + SRAM energy)."""
+        num = len(summary.clauses)
+        if summary.full_scan:
+            self.stats.full_scans += 1
+        else:
+            self.stats.head_lookups += 1
+            self.stats.list_traversal_steps += num
+            self.stats.local_misses += summary.misses
+        self.stats.clause_fetches += num
+        self.stats.sram_words_touched += summary.words_touched
+        if self.sram:
+            self.sram.read_batch(dict(summary.bank_reads))
+
+    def charge_bulk(
+        self,
+        head_lookups: int,
+        traversal_steps: int,
+        clause_fetches: int,
+        words_touched: int,
+        misses: int,
+        full_scans: int,
+        bank_reads: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Aggregate accounting for a whole batch of assignments.
+
+        The per-event counters are additive and SRAM conflict accounting
+        telescopes per bank, so charging a batch in one call yields
+        exactly the same statistics and energy as per-event charging.
+        """
+        self.stats.head_lookups += head_lookups
+        self.stats.list_traversal_steps += traversal_steps
+        self.stats.clause_fetches += clause_fetches
+        self.stats.sram_words_touched += words_touched
+        self.stats.local_misses += misses
+        self.stats.full_scans += full_scans
+        if self.sram and bank_reads:
+            self.sram.read_batch(bank_reads)
+
     def on_assignment(self, literal: int) -> Tuple[List[Tuple[int, ...]], int]:
         """Clauses to inspect when ``literal`` becomes false.
 
@@ -97,42 +220,9 @@ class WatchedLiteralsUnit:
         head lookup plus one hop per clause on the watch list; without
         it (ablation) a full scan of the clause database.
         """
-        if not self.config.linked_list_layout:
-            self.stats.full_scans += 1
-            clauses = [
-                record.literals
-                for record in self._records.values()
-                if literal in record.literals[:2]
-            ]
-            words = self._next_address
-            self.stats.sram_words_touched += words
-            self.stats.clause_fetches += len(clauses)
-            if self.sram:
-                for i in range(0, max(words, 1), 16):
-                    self.sram.read(i % self.config.sram_banks, 1)
-            # Scanning cost: clause database size / bank parallelism.
-            return clauses, max(1, words // (2 * self.config.sram_banks))
-
-        self.stats.head_lookups += 1
-        address = self._head.get(literal)
-        clauses: List[Tuple[int, ...]] = []
-        cycles = 1  # head-pointer table access
-        misses = 0
-        while address is not None:
-            record = self._records[address]
-            self.stats.list_traversal_steps += 1
-            self.stats.clause_fetches += 1
-            words = len(record.literals) + 1
-            self.stats.sram_words_touched += words
-            if self.sram:
-                self.sram.read(address % self.config.sram_banks, 1)
-            if not record.resident:
-                misses += 1
-                self.stats.local_misses += 1
-            clauses.append(record.literals)
-            cycles += 1
-            address = record.next_watch.get(literal)
-        return clauses, cycles + misses * self.config.dram_latency_cycles
+        summary = self.summary_for(literal)
+        self.charge(summary)
+        return list(summary.clauses), summary.access_cycles
 
     def watch_list_length(self, literal: int) -> int:
         length = 0

@@ -11,7 +11,7 @@ registers once).  Each block then maps onto one tree-PE issue.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.dag.graph import Dag, OpType
 
@@ -53,67 +53,87 @@ def decompose_blocks(dag: Dag, max_depth: int) -> List[Block]:
     if max_depth < 1:
         raise ValueError("max_depth must be at least 1")
 
-    parents = dag.parents_map()
     order = dag.topological_order()
-    placement: Dict[int, Tuple[int, int]] = {}  # node -> (block id, depth in block)
+    # Node ids are dense (allocated sequentially), so per-node state
+    # lives in flat arrays instead of dict/set lookups.  Parent counts
+    # span the whole DAG (matching ``parents_map``), not just the
+    # reachable part.
+    size = 1 + max((node_id for node_id, _ in dag.items()), default=-1)
+    parent_count = [0] * size
+    for _, node in dag.items():
+        for child in node.children:
+            parent_count[child] += 1
+    block_of = [-1] * size  # block id of each placed interior node
+    depth_of = [0] * size  # depth within its block
+    materialized = bytearray(size)  # values living in registers/SRAM
     blocks: List[Block] = []
-    materialized: Set[int] = set()  # values living in registers/SRAM
+    # Set shadows of each block's input list for O(1) membership; the
+    # lists keep insertion order (it defines operand read order).
+    input_sets: List[Set[int]] = []
 
+    node_of = dag.node
     for node_id in order:
-        node = dag.node(node_id)
+        node = node_of(node_id)
         if node.op in _LEAF_OPS:
-            materialized.add(node_id)
+            materialized[node_id] = 1
             continue
 
         mergeable: List[int] = []  # open child blocks we could absorb
-        depths: List[int] = []
+        max_child_depth = 0
         for child in node.children:
-            if child in materialized:
-                depths.append(0)
+            if materialized[child]:
                 continue
-            child_block, child_depth = placement[child]
-            if len(parents[child]) > 1:
+            if parent_count[child] > 1:
                 # Shared value: close the child's block here.
-                materialized.add(child)
-                depths.append(0)
+                materialized[child] = 1
                 continue
-            mergeable.append(child_block)
-            depths.append(child_depth)
+            mergeable.append(block_of[child])
+            child_depth = depth_of[child]
+            if child_depth > max_child_depth:
+                max_child_depth = child_depth
 
-        new_depth = 1 + max(depths, default=0)
+        new_depth = 1 + max_child_depth
         if new_depth > max_depth:
             # Close every open child block and start a fresh block.
             for child in node.children:
-                materialized.add(child)
+                materialized[child] = 1
             mergeable = []
             new_depth = 1
 
         if mergeable:
             target = blocks[mergeable[0]]
+            target_id = target.block_id
+            target_inputs = input_sets[target_id]
             for other_id in dict.fromkeys(mergeable[1:]):
-                if other_id == target.block_id:
+                if other_id == target_id:
                     continue
                 other = blocks[other_id]
                 target.nodes.extend(other.nodes)
-                target.inputs.extend(i for i in other.inputs if i not in target.inputs)
+                for i in other.inputs:
+                    if i not in target_inputs:
+                        target_inputs.add(i)
+                        target.inputs.append(i)
                 for moved in other.nodes:
-                    placement[moved] = (target.block_id, placement[moved][1])
+                    block_of[moved] = target_id
                 other.nodes = []
                 other.inputs = []
+                input_sets[other_id] = set()
         else:
             target = Block(block_id=len(blocks))
             blocks.append(target)
+            input_sets.append(set())
+            target_inputs = input_sets[target.block_id]
 
         target.nodes.append(node_id)
         for child in node.children:
-            if child in materialized and child not in target.inputs:
+            if materialized[child] and child not in target_inputs:
+                target_inputs.add(child)
                 target.inputs.append(child)
         target.output = node_id
-        target.depth = max(target.depth, new_depth)
-        placement[node_id] = (target.block_id, new_depth)
-
-    if dag.root is not None:
-        materialized.add(dag.root)
+        if new_depth > target.depth:
+            target.depth = new_depth
+        block_of[node_id] = target.block_id
+        depth_of[node_id] = new_depth
 
     live = [b for b in blocks if b.nodes]
     _validate_blocks(dag, live, max_depth)
@@ -155,9 +175,18 @@ def block_dependencies(dag: Dag, blocks: Sequence[Block]) -> Dict[int, Set[int]]
     return deps
 
 
-def topological_block_order(dag: Dag, blocks: Sequence[Block]) -> List[Block]:
-    """Blocks sorted so every block follows its producers."""
-    deps = block_dependencies(dag, blocks)
+def topological_block_order(
+    dag: Dag,
+    blocks: Sequence[Block],
+    deps: Optional[Dict[int, Set[int]]] = None,
+) -> List[Block]:
+    """Blocks sorted so every block follows its producers.
+
+    ``deps`` accepts a precomputed :func:`block_dependencies` result so
+    callers that need both don't pay the edge walk twice.
+    """
+    if deps is None:
+        deps = block_dependencies(dag, blocks)
     by_id = {block.block_id: block for block in blocks}
     done: Set[int] = set()
     out: List[Block] = []

@@ -71,18 +71,32 @@ def map_operands_to_banks(
     assignment = BankAssignment(num_banks=num_banks)
     occupancy = [0] * num_banks
 
+    bank_of = assignment.bank_of
+
     # Most-constrained-first: order by conflict degree descending.
+    # Bank choice is argmin over (occupancy, index); the first-wins
+    # linear scan reproduces min()'s lexicographic tie-break without a
+    # key-lambda call per bank.
     for value in sorted(neighbors, key=lambda v: (-len(neighbors[v]), v)):
         taken = {
-            assignment.bank_of[n] for n in neighbors[value] if n in assignment.bank_of
+            bank_of[n] for n in neighbors[value] if n in bank_of
         }
-        candidates = [b for b in range(num_banks) if b not in taken]
-        if candidates:
-            bank = min(candidates, key=lambda b: (occupancy[b], b))
-        else:
-            bank = min(range(num_banks), key=lambda b: (occupancy[b], b))
+        bank = -1
+        best_occupancy = -1
+        for b in range(num_banks):
+            if b in taken:
+                continue
+            count = occupancy[b]
+            if bank < 0 or count < best_occupancy:
+                bank, best_occupancy = b, count
+        if bank < 0:  # every bank conflicts: fall back to least loaded
+            bank = 0
+            best_occupancy = occupancy[0]
+            for b in range(1, num_banks):
+                if occupancy[b] < best_occupancy:
+                    bank, best_occupancy = b, occupancy[b]
             assignment.conflicts += 1
-        assignment.bank_of[value] = bank
+        bank_of[value] = bank
         occupancy[bank] += 1
 
     return assignment

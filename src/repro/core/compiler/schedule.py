@@ -30,7 +30,12 @@ _LEAF_OPS = {OpType.LITERAL, OpType.LEAF, OpType.INPUT}
 
 
 class _BankFile:
-    """Per-bank free lists with lowest-address-first allocation."""
+    """Per-bank free lists with lowest-address-first allocation.
+
+    Residency is tracked both globally (``address_of``) and per bank
+    (insertion-ordered dicts), so spill-victim enumeration scans only
+    the overflowing bank instead of every resident value.
+    """
 
     def __init__(self, num_banks: int, regs_per_bank: int):
         self.regs_per_bank = regs_per_bank
@@ -38,6 +43,7 @@ class _BankFile:
         for heap in self._free:
             heapq.heapify(heap)
         self.address_of: Dict[int, Tuple[int, int]] = {}
+        self._residents: List[Dict[int, int]] = [{} for _ in range(num_banks)]
         self.spilled: Set[int] = set()
 
     def allocate(self, value: int, bank: int) -> Optional[Tuple[int, int]]:
@@ -46,6 +52,7 @@ class _BankFile:
             return None
         addr = heapq.heappop(self._free[bank])
         self.address_of[value] = (bank, addr)
+        self._residents[bank][value] = addr
         self.spilled.discard(value)
         return (bank, addr)
 
@@ -54,11 +61,13 @@ class _BankFile:
         if located is not None:
             bank, addr = located
             heapq.heappush(self._free[bank], addr)
+            del self._residents[bank][value]
 
     def evict(self, value: int) -> Tuple[int, int]:
         located = self.address_of.pop(value)
         bank, addr = located
         heapq.heappush(self._free[bank], addr)
+        del self._residents[bank][value]
         self.spilled.add(value)
         return located
 
@@ -66,7 +75,9 @@ class _BankFile:
         return value in self.address_of
 
     def values_in_bank(self, bank: int) -> List[int]:
-        return [v for v, (b, _) in self.address_of.items() if b == bank]
+        # Same enumeration order as filtering ``address_of`` insertion
+        # order: values enter/leave both maps together.
+        return list(self._residents[bank])
 
 
 @dataclass
@@ -97,9 +108,8 @@ def schedule_program(
     blocks are not interleaved: each block waits for full pipeline
     drain, modeling a naive in-order issue.
     """
-    ordered = topological_block_order(dag, blocks)
     deps = block_dependencies(dag, blocks)
-    by_id = {block.block_id: block for block in blocks}
+    ordered = topological_block_order(dag, blocks, deps)
     placements: Dict[int, TreePlacement] = {
         block.block_id: map_block_to_tree(dag, block, config.tree_depth)
         for block in blocks
@@ -139,9 +149,6 @@ def schedule_program(
             )
             stats.spills += 1
             slot = banks.allocate(value, bank)
-        kind = (
-            InstructionKind.RELOAD if value in banks.spilled or position < 0 else InstructionKind.LOAD
-        )
         node = dag.node(value) if value in dag else None
         if node is not None and node.op in _LEAF_OPS:
             issued.append(
@@ -161,31 +168,36 @@ def schedule_program(
 
     finish_cycle: Dict[int, int] = {}  # block id -> result-visible cycle
     cycle = 0
-    pending = list(range(len(ordered)))
-    issued_index: Set[int] = set()
 
-    while pending:
-        progressed = False
-        free_pes = config.num_pes
+    # Ready-queue scheduling: instead of rescanning every pending block
+    # each cycle (O(cycles × blocks)), blocks enter a time-ordered heap
+    # the moment their last producer's finish cycle is known, then move
+    # to an index-ordered ready heap as the clock reaches it.  Selection
+    # order (lowest ordered-index first among ready blocks) matches the
+    # original pending-list scan exactly.
+    index_of = {block.block_id: i for i, block in enumerate(ordered)}
+    blocked_on = [len(deps[block.block_id]) for block in ordered]
+    dependents: List[List[int]] = [[] for _ in ordered]
+    for i, block in enumerate(ordered):
+        for dep in deps[block.block_id]:
+            dependents[index_of[dep]].append(i)
+    ready_when = [0] * len(ordered)
+    future: List[Tuple[int, int]] = []  # (ready_at, index): deps all issued
+    for i, remaining_deps in enumerate(blocked_on):
+        if remaining_deps == 0:
+            future.append((0, i))
+    heapq.heapify(future)
+    ready: List[int] = []  # index heap of blocks ready at the clock
+    last_finish = 0  # pipeline-drain gate for the non-pipelined ablation
+    remaining = len(ordered)
+
+    while remaining:
+        while future and future[0][0] <= cycle:
+            heapq.heappush(ready, heapq.heappop(future)[1])
         issue_this_cycle: List[int] = []
-        for index in pending:
-            if free_pes == 0:
-                break
-            block = ordered[index]
-            ready_at = 0
-            for dep in deps[block.block_id]:
-                if dep not in finish_cycle:
-                    ready_at = None
-                    break
-                ready_at = max(ready_at, finish_cycle[dep])
-            if ready_at is None or ready_at > cycle:
-                continue
-            if not config.pipelined_scheduling and finish_cycle:
-                # Naive mode: wait for the whole pipeline to drain.
-                if max(finish_cycle.values()) > cycle:
-                    continue
-            issue_this_cycle.append(index)
-            free_pes -= 1
+        if ready and (config.pipelined_scheduling or last_finish <= cycle):
+            for _ in range(min(config.num_pes, len(ready))):
+                issue_this_cycle.append(heapq.heappop(ready))
 
         for slot, index in enumerate(issue_this_cycle):
             block = ordered[index]
@@ -226,17 +238,24 @@ def schedule_program(
                 output_value=block.output,
             )
             program.instructions.append(instruction)
-            finish_cycle[block.block_id] = cycle + config.pipeline_stages + conflicts
-            issued_index.add(index)
-            progressed = True
+            finish = cycle + config.pipeline_stages + conflicts
+            finish_cycle[block.block_id] = finish
+            if finish > last_finish:
+                last_finish = finish
+            for dependent in dependents[index]:
+                blocked_on[dependent] -= 1
+                if finish > ready_when[dependent]:
+                    ready_when[dependent] = finish
+                if blocked_on[dependent] == 0:
+                    heapq.heappush(future, (ready_when[dependent], dependent))
+            remaining -= 1
             # Free dead values.
             for value in block.inputs:
                 if last_use.get(value) == index:
                     banks.release(value)
 
-        pending = [i for i in pending if i not in issued_index]
         stats.pe_issue_slots += config.num_pes
-        if not progressed:
+        if not issue_this_cycle:
             program.instructions.append(
                 VLIWInstruction(InstructionKind.NOP, issue_cycle=cycle, comment="hazard")
             )

@@ -47,39 +47,43 @@ def map_block_to_tree(dag: Dag, block: Block, tree_depth: int) -> TreePlacement:
     num_positions = 2 ** (tree_depth + 1) - 1
     first_leaf = 2 ** tree_depth - 1
 
-    def place(value_id: int, position: int) -> None:
-        """Place the subtree computing ``value_id`` with its result
-        surfacing at ``position``."""
-        node = dag.node(value_id)
-        is_op = value_id in block_nodes
-        if not is_op:
+    configs = placement.configs
+    leaf_operands = placement.leaf_operands
+    node_of = dag.node
+    sum_op = OpType.SUM
+
+    # Pre-order placement walk with an explicit stack (the recursion
+    # paid a Python frame per operand spine).
+    stack = [(block.output, 0)]
+    while stack:
+        value_id, position = stack.pop()
+        if value_id not in block_nodes:
             # An operand: inject at the leaf below and FORWARD it up to
             # ``position`` (inclusive) so the parent op can read it.
             leaf = position
             while leaf < first_leaf:
                 leaf = 2 * leaf + 1  # descend left spine
-            placement.leaf_operands[leaf] = value_id
+            leaf_operands[leaf] = value_id
             walker = leaf
             while True:
-                placement.configs.append(TreeNodeConfig(walker, None))
+                configs.append(TreeNodeConfig(walker, None))
                 if walker == position:
                     break
                 walker = (walker - 1) // 2
-            return
+            continue
 
+        node = node_of(value_id)
         child_weights: Tuple[float, ...] = ()
-        if node.op is OpType.SUM and node.weights is not None:
+        if node.op is sum_op and node.weights is not None:
             child_weights = tuple(float(w) for w in node.weights)
-        placement.configs.append(TreeNodeConfig(position, node.op, child_weights))
+        configs.append(TreeNodeConfig(position, node.op, child_weights))
         children = node.children
-        if position >= first_leaf and children:
-            raise ValueError("op node landed on a leaf position")
-        if len(children) >= 1:
-            place(children[0], 2 * position + 1)
-        if len(children) == 2:
-            place(children[1], 2 * position + 2)
-
-    place(block.output, 0)
+        if children:
+            if position >= first_leaf:
+                raise ValueError("op node landed on a leaf position")
+            if len(children) == 2:
+                stack.append((children[1], 2 * position + 2))
+            stack.append((children[0], 2 * position + 1))
 
     # De-duplicate configs: a position may appear once.
     seen: Dict[int, TreeNodeConfig] = {}

@@ -50,6 +50,11 @@ class DagNode:
     ``payload`` depends on the op: a literal for LITERAL, a
     (variable, probabilities) tuple for LEAF, a label for INPUT.
     ``weights`` parallels ``children`` on SUM nodes.
+
+    ``children`` must not be mutated after the node is added to a
+    :class:`Dag`: the DAG memoizes traversal orders and only
+    invalidates them on :meth:`Dag.add` / :meth:`Dag.set_root`.  Build
+    a new node (or a new DAG) instead of editing edges in place.
     """
 
     op: OpType
@@ -76,6 +81,8 @@ class Dag:
         self._nodes: Dict[int, DagNode] = {}
         self._next_id = 0
         self.root: Optional[int] = None
+        # Memoized topological orders, invalidated on any mutation.
+        self._topo_cache: Dict[Optional[Tuple[int, ...]], List[int]] = {}
 
     def add(self, node: DagNode) -> int:
         for child in node.children:
@@ -84,6 +91,8 @@ class Dag:
         node_id = self._next_id
         self._next_id += 1
         self._nodes[node_id] = node
+        if self._topo_cache:
+            self._topo_cache.clear()
         return node_id
 
     def add_op(
@@ -110,6 +119,8 @@ class Dag:
     def set_root(self, node_id: int) -> None:
         if node_id not in self._nodes:
             raise KeyError(f"node {node_id} not in DAG")
+        if node_id != self.root and self._topo_cache:
+            self._topo_cache.clear()
         self.root = node_id
 
     def ids(self) -> List[int]:
@@ -123,12 +134,24 @@ class Dag:
     def topological_order(self, roots: Optional[Iterable[int]] = None) -> List[int]:
         """Children-before-parents order of nodes reachable from roots.
 
-        Defaults to the DAG's root; raises if no root is set.
+        Defaults to the DAG's root; raises if no root is set.  Orders
+        are memoized per roots tuple and invalidated when the DAG
+        mutates through :meth:`add`/:meth:`set_root`, so the many
+        traversal-hungry consumers (compiler passes, pruning, footprint
+        queries) pay the walk once.  In-place edits of a node's
+        ``children`` list are not tracked (see :class:`DagNode`).
         """
         if roots is None:
             if self.root is None:
                 raise ValueError("DAG has no root")
+            key: Optional[Tuple[int, ...]] = None
             roots = [self.root]
+        else:
+            roots = list(roots)
+            key = tuple(roots)
+        cached = self._topo_cache.get(key)
+        if cached is not None:
+            return list(cached)
         order: List[int] = []
         state: Dict[int, int] = {}  # 0 visiting, 1 done
         stack: List[Tuple[int, bool]] = [(r, False) for r in roots]
@@ -156,7 +179,8 @@ class Dag:
             if node_id not in seen:
                 seen.add(node_id)
                 unique.append(node_id)
-        return unique
+        self._topo_cache[key] = unique
+        return list(unique)
 
     @property
     def num_nodes(self) -> int:
@@ -182,8 +206,10 @@ class Dag:
         return depths[self.root] if self.root is not None else 0
 
     def max_fan_in(self) -> int:
-        live = self.topological_order()
-        return max((self._nodes[i].fan_in for i in live), default=0)
+        nodes = self._nodes
+        return max(
+            (len(nodes[i].children) for i in self.topological_order()), default=0
+        )
 
     def parents_map(self) -> Dict[int, List[int]]:
         out: Dict[int, List[int]] = {i: [] for i in self._nodes}

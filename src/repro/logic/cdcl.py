@@ -43,7 +43,7 @@ class CDCLStats:
     deleted_clauses: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One BCP-visible event, replayed by the accelerator simulator."""
 
@@ -98,14 +98,21 @@ class CDCLSolver:
         self.trace: List[TraceEvent] = []
         self._num_vars = 0
         self._clauses: List[_Clause] = []
-        self._watches: Dict[Literal, List[_Clause]] = {}
-        self._assign: Dict[int, bool] = {}
-        self._level: Dict[int, int] = {}
-        self._reason: Dict[int, Optional[_Clause]] = {}
+        # Flat solver state; literal-indexed structures use
+        # ``lit + base`` so negative literals map to 0..base-1 and
+        # positive ones to base+1..2*base.  ``_val`` holds the truth
+        # code of every literal (-1 unknown, 0 false, 1 true), stored
+        # for both polarities so BCP never branches on literal sign.
+        self._lit_base = 0
+        self._watches: List[List[_Clause]] = []
+        self._val: List[int] = []
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
         self._trail: List[Literal] = []
         self._trail_lim: List[int] = []
-        self._activity: Dict[int, float] = {}
+        self._activity: List[float] = []
         self._activity_inc = 1.0
+        self._qhead = 0
 
     # ----------------------------------------------------------------- api
 
@@ -113,7 +120,7 @@ class CDCLSolver:
         self, formula: CNF, assumptions: Sequence[Literal] = ()
     ) -> Tuple[SolveResult, Optional[Dict[int, bool]]]:
         """Solve the formula, returning (result, model-or-None)."""
-        self._initialize(formula)
+        self._initialize(formula, assumptions)
         for clause in formula.clauses:
             if clause.is_empty:
                 return SolveResult.UNSAT, None
@@ -154,7 +161,7 @@ class CDCLSolver:
                     self._reduce_clause_db()
                 lit = self._pick_branch_literal()
                 if lit is None:
-                    return SolveResult.SAT, dict(self._assign)
+                    return SolveResult.SAT, self._model()
                 self.stats.decisions += 1
                 self._trail_lim.append(len(self._trail))
                 self.stats.max_decision_level = max(
@@ -165,23 +172,38 @@ class CDCLSolver:
 
     # ------------------------------------------------------------ internals
 
-    def _initialize(self, formula: CNF) -> None:
+    def _initialize(self, formula: CNF, assumptions: Sequence[Literal] = ()) -> None:
         self.stats = CDCLStats()
         self.trace = []
         self._num_vars = formula.num_vars
         self._clauses = []
-        self._watches = {}
-        self._assign = {}
-        self._level = {}
-        self._reason = {}
+        # Size the arrays to cover assumption variables beyond num_vars.
+        base = max(
+            formula.num_vars, max((abs(lit) for lit in assumptions), default=0)
+        )
+        self._lit_base = base
+        self._watches = [[] for _ in range(2 * base + 1)]
+        self._val = [-1] * (2 * base + 1)
+        self._level = [0] * (base + 1)
+        self._reason = [None] * (base + 1)
         self._trail = []
         self._trail_lim = []
-        self._activity = {v: 0.0 for v in range(1, formula.num_vars + 1)}
+        self._activity = [0.0] * (base + 1)
         self._activity_inc = 1.0
+        self._qhead = 0
         self._pending: List[_Clause] = []
         for clause in formula.clauses:
             if not clause.is_tautology:
                 self._pending.append(_Clause(list(clause.literals)))
+
+    def _model(self) -> Dict[int, bool]:
+        val = self._val
+        base = self._lit_base
+        return {
+            variable: code == 1
+            for variable in range(1, base + 1)
+            if (code := val[variable + base]) >= 0
+        }
 
     def _attach_all(self) -> bool:
         """Attach initial clauses; returns False on immediate conflict."""
@@ -200,13 +222,13 @@ class CDCLSolver:
         return self._propagate() is None
 
     def _watch(self, lit: Literal, clause: _Clause) -> None:
-        self._watches.setdefault(lit, []).append(clause)
+        self._watches[lit + self._lit_base].append(clause)
 
     def _value(self, lit: Literal) -> Optional[bool]:
-        value = self._assign.get(var_of(lit))
-        if value is None:
+        code = self._val[lit + self._lit_base]
+        if code < 0:
             return None
-        return value == (lit > 0)
+        return code == 1
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
@@ -222,59 +244,98 @@ class CDCLSolver:
 
     def _enqueue(self, lit: Literal, reason: Optional[_Clause]) -> None:
         variable = var_of(lit)
-        self._assign[variable] = lit > 0
+        index = lit + self._lit_base
+        self._val[index] = 1
+        self._val[2 * self._lit_base - index] = 0
         self._level[variable] = self._decision_level()
         self._reason[variable] = reason
         self._trail.append(lit)
 
     def _propagate(self) -> Optional[_Clause]:
         """Two-watched-literal BCP; returns the conflicting clause if any."""
-        head = getattr(self, "_qhead", 0)
+        # Everything the inner loop touches is bound locally: flat
+        # arrays replace the per-literal dict lookups, and truth tests
+        # are one literal-indexed load and an int compare instead of a
+        # ``_value``/``var_of`` call pair per literal.
+        val = self._val
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        watches = self._watches
+        base = self._lit_base
+        two_base = 2 * base
+        record = self.record_trace
+        trace = self.trace
+        decision_level = len(self._trail_lim)
+        fetches = 0
+        propagations = 0
+
         # The queue head can regress after backjumps.
-        head = min(head, len(self._trail))
-        while head < len(self._trail):
-            lit = self._trail[head]
+        head = min(self._qhead, len(trail))
+        while head < len(trail):
+            lit = trail[head]
             head += 1
             false_lit = -lit
-            watchers = self._watches.get(false_lit, [])
-            self._watches[false_lit] = []
-            idx = 0
-            while idx < len(watchers):
+            false_idx = false_lit + base
+            # In-place two-pointer compaction: surviving watchers slide
+            # to the front of the same list (their scan order — exactly
+            # what rebuilding the list produced, without allocating one
+            # per trail literal).  Replacement-watch moves append to a
+            # *different* literal's list, never this one, so the scan
+            # window is stable.
+            watchers = watches[false_idx]
+            keep = 0
+            trail_append = trail.append
+            num_watchers = len(watchers)
+            for idx in range(num_watchers):
                 clause = watchers[idx]
-                idx += 1
-                self.stats.clause_fetches += 1
+                fetches += 1
+                lits = clause.lits
                 # Ensure the false literal sits at position 1.
-                if clause.lits[0] == false_lit:
-                    clause.lits[0], clause.lits[1] = clause.lits[1], clause.lits[0]
-                first = clause.lits[0]
-                if self._value(first) is True:
-                    self._watch(false_lit, clause)
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                first_code = val[first + base]
+                if first_code == 1:
+                    watchers[keep] = clause
+                    keep += 1
                     continue
                 # Search a replacement watch.
                 found = False
-                for pos in range(2, len(clause.lits)):
-                    if self._value(clause.lits[pos]) is not False:
-                        clause.lits[1], clause.lits[pos] = clause.lits[pos], clause.lits[1]
-                        self._watch(clause.lits[1], clause)
+                for pos in range(2, len(lits)):
+                    other = lits[pos]
+                    if val[other + base] != 0:  # not false
+                        lits[1], lits[pos] = other, lits[1]
+                        watches[other + base].append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                self._watch(false_lit, clause)
-                if self._value(first) is False:
-                    self._watches[false_lit].extend(watchers[idx:])
-                    self._qhead = len(self._trail)
+                watchers[keep] = clause
+                keep += 1
+                if first_code == 0:  # false: conflict
+                    watchers[keep:] = watchers[idx + 1 :]
+                    self._qhead = len(trail)
+                    self.stats.clause_fetches += fetches
+                    self.stats.propagations += propagations
                     return clause
-                self.stats.propagations += 1
-                self._emit(
-                    "imply",
-                    literal=first,
-                    level=self._decision_level(),
-                    clause_size=len(clause.lits),
-                )
-                self._enqueue(first, reason=clause)
+                propagations += 1
+                if record:
+                    trace.append(
+                        TraceEvent("imply", first, decision_level, len(lits))
+                    )
+                first_idx = first + base
+                val[first_idx] = 1
+                val[two_base - first_idx] = 0
+                variable = first if first > 0 else -first
+                level[variable] = decision_level
+                reason[variable] = clause
+                trail_append(first)
+            del watchers[keep:]
         self._qhead = head
+        self.stats.clause_fetches += fetches
+        self.stats.propagations += propagations
         return None
 
     def _analyze(self, conflict: _Clause) -> Tuple[List[Literal], int]:
@@ -284,12 +345,14 @@ class CDCLSolver:
         backjump level.
         """
         current_level = self._decision_level()
+        levels = self._level
+        trail = self._trail
         seen: set = set()
         learned: List[Literal] = []
         counter = 0
         lit: Optional[Literal] = None
         reason: Optional[_Clause] = conflict
-        trail_idx = len(self._trail) - 1
+        trail_idx = len(trail) - 1
 
         while True:
             assert reason is not None
@@ -297,29 +360,29 @@ class CDCLSolver:
             for q in reason.lits:
                 if lit is not None and q == lit:
                     continue
-                variable = var_of(q)
-                if variable in seen or self._level.get(variable, 0) == 0:
+                variable = q if q > 0 else -q
+                if variable in seen or levels[variable] == 0:
                     continue
                 seen.add(variable)
                 self._bump_activity(variable)
-                if self._level[variable] == current_level:
+                if levels[variable] == current_level:
                     counter += 1
                 else:
                     learned.append(q)
             # Walk the trail backwards to the next marked literal.
-            while trail_idx >= 0 and var_of(self._trail[trail_idx]) not in seen:
+            while trail_idx >= 0 and abs(trail[trail_idx]) not in seen:
                 trail_idx -= 1
             if trail_idx < 0:
                 break
-            lit = self._trail[trail_idx]
-            variable = var_of(lit)
+            lit = trail[trail_idx]
+            variable = lit if lit > 0 else -lit
             seen.discard(variable)
             trail_idx -= 1
             counter -= 1
             if counter == 0:
                 learned.insert(0, -lit)
                 break
-            reason = self._reason.get(variable)
+            reason = self._reason[variable]
             if reason is None:
                 # Decision literal reached without a unique implication
                 # point: learn the negation of the decision.
@@ -328,11 +391,11 @@ class CDCLSolver:
 
         if len(learned) == 1:
             return learned, 0
-        levels = sorted({self._level[var_of(q)] for q in learned[1:]}, reverse=True)
-        backjump = levels[0] if levels else 0
+        distinct = sorted({levels[var_of(q)] for q in learned[1:]}, reverse=True)
+        backjump = distinct[0] if distinct else 0
         # Put a literal from the backjump level in the second watch slot.
         for pos in range(1, len(learned)):
-            if self._level[var_of(learned[pos])] == backjump:
+            if levels[var_of(learned[pos])] == backjump:
                 learned[1], learned[pos] = learned[pos], learned[1]
                 break
         return learned, backjump
@@ -341,11 +404,18 @@ class CDCLSolver:
         if self._decision_level() <= level:
             return
         cut = self._trail_lim[level]
+        val = self._val
+        base = self._lit_base
+        two_base = 2 * base
+        levels = self._level
+        reasons = self._reason
         for lit in self._trail[cut:]:
-            variable = var_of(lit)
-            self._assign.pop(variable, None)
-            self._level.pop(variable, None)
-            self._reason.pop(variable, None)
+            index = lit + base
+            val[index] = -1
+            val[two_base - index] = -1
+            variable = lit if lit > 0 else -lit
+            levels[variable] = 0
+            reasons[variable] = None
         del self._trail[cut:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -366,7 +436,7 @@ class CDCLSolver:
         """Delete the lower-activity half of learned clauses not in use."""
         learned = [c for c in self._clauses if c.learned]
         learned.sort(key=lambda c: c.activity)
-        locked = {id(r) for r in self._reason.values() if r is not None}
+        locked = {id(r) for r in self._reason if r is not None}
         to_delete = {
             id(c)
             for c in learned[: len(learned) // 2]
@@ -376,16 +446,21 @@ class CDCLSolver:
             return
         self.stats.deleted_clauses += len(to_delete)
         self._clauses = [c for c in self._clauses if id(c) not in to_delete]
-        for lit in list(self._watches):
-            self._watches[lit] = [c for c in self._watches[lit] if id(c) not in to_delete]
+        self._watches = [
+            [c for c in watchers if id(c) not in to_delete]
+            for watchers in self._watches
+        ]
 
     def _pick_branch_literal(self) -> Optional[Literal]:
+        val = self._val
+        base = self._lit_base
+        activities = self._activity
         best_var: Optional[int] = None
         best_activity = -1.0
         for variable in range(1, self._num_vars + 1):
-            if variable in self._assign:
+            if val[variable + base] >= 0:
                 continue
-            activity = self._activity.get(variable, 0.0)
+            activity = activities[variable]
             if activity > best_activity:
                 best_var, best_activity = variable, activity
         if best_var is None:
@@ -393,10 +468,12 @@ class CDCLSolver:
         return best_var  # positive polarity first; phase saving is overkill here
 
     def _bump_activity(self, variable: int) -> None:
-        self._activity[variable] = self._activity.get(variable, 0.0) + self._activity_inc
-        if self._activity[variable] > 1e100:
-            for v in self._activity:
-                self._activity[v] *= 1e-100
+        activities = self._activity
+        bumped = activities[variable] + self._activity_inc
+        activities[variable] = bumped
+        if bumped > 1e100:
+            for v in range(1, len(activities)):
+                activities[v] *= 1e-100
             self._activity_inc *= 1e-100
 
     def _decay_activities(self) -> None:

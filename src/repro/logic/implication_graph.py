@@ -118,6 +118,57 @@ class BinaryImplicationGraph:
     def implies(self, a: Literal, b: Literal) -> bool:
         return b in self.reachable(a)
 
+    def reaches_any(
+        self,
+        lit: Literal,
+        targets: Set[Literal],
+        exclude: Optional[Clause] = None,
+    ) -> bool:
+        """Whether ``lit``'s closure intersects ``targets``.
+
+        Same traversal as :meth:`reachable` but stops at the first hit,
+        so hidden-literal checks don't materialize whole closures.
+        ``lit`` itself never counts (it is excluded from the closure).
+        """
+        forbidden: Set[Tuple[Literal, Literal]] = set()
+        if exclude is not None and len(exclude) == 2:
+            a, b = exclude.literals
+            for src, dst in ((-a, b), (-b, a)):
+                if self._succ.get(src, {}).get(dst, 0) == 1:
+                    forbidden.add((src, dst))
+        succ = self._succ
+        seen: Set[Literal] = set()
+        stack = [lit]
+        while stack:
+            current = stack.pop()
+            for nxt in succ.get(current, ()):
+                if forbidden and (current, nxt) in forbidden:
+                    continue
+                if nxt not in seen and nxt != lit:
+                    if nxt in targets:
+                        return True
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def closure_has_complement(self, lit: Literal) -> bool:
+        """Whether ``lit``'s closure contains ``¬lit`` or any pair
+        ``x``/``¬x`` — detected incrementally so the traversal stops at
+        the first contradiction instead of materializing the closure.
+        """
+        succ = self._succ
+        seen: Set[Literal] = set()
+        stack = [lit]
+        while stack:
+            current = stack.pop()
+            for nxt in succ.get(current, ()):
+                if nxt not in seen and nxt != lit:
+                    if nxt == -lit or -nxt in seen:
+                        return True
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
     def failed_literals(self, variables: Iterable[int]) -> List[Literal]:
         """Literals whose closure contains a complementary pair.
 
@@ -127,8 +178,7 @@ class BinaryImplicationGraph:
         failed: List[Literal] = []
         for variable in variables:
             for lit in (variable, -variable):
-                closure = self.reachable(lit)
-                if -lit in closure or any(-x in closure for x in closure):
+                if self.closure_has_complement(lit):
                     failed.append(lit)
                     break  # asserting the other polarity is then forced anyway
         return failed
@@ -171,8 +221,8 @@ def prune_hidden_literals(
         # HTE: entailed through other clauses' implications?
         tautology = False
         for lit in literals:
-            implied_by_neg = graph.reachable(-lit, exclude=clause)
-            if any(other in implied_by_neg for other in literals if other != lit):
+            others = {other for other in literals if other != lit}
+            if graph.reaches_any(-lit, others, exclude=clause):
                 tautology = True
                 break
         if tautology:
@@ -186,8 +236,8 @@ def prune_hidden_literals(
         while changed and len(current) >= 2:
             changed = False
             for lit in current.literals:
-                closure = graph.reachable(lit, exclude=current)
-                if any(other in closure for other in current.literals if other != lit):
+                siblings = {other for other in current.literals if other != lit}
+                if graph.reaches_any(lit, siblings, exclude=current):
                     narrowed = current.without(lit)
                     report.literals_removed += 1
                     if len(current) == 2:

@@ -134,6 +134,11 @@ class Circuit:
 
     root: CircuitNode
     num_states: Dict[int, int] = field(default_factory=dict)
+    # Memoized (root, order): children tuples are immutable, so the
+    # order is a pure function of the root node's identity.
+    _topo_cache: Optional[Tuple[CircuitNode, List[CircuitNode]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for variable in self.variables():
@@ -144,19 +149,28 @@ class Circuit:
 
     def topological_order(self) -> List[CircuitNode]:
         """Children-before-parents order (bottom-up evaluation order)."""
+        cached = self._topo_cache
+        if cached is not None and cached[0] is self.root:
+            return list(cached[1])
         order: List[CircuitNode] = []
         visited: set = set()
-
-        def visit(node: CircuitNode) -> None:
+        # Iterative post-order DFS (the recursive version overflow-limits
+        # deep circuits and pays a Python call per node).
+        stack: List[Tuple[CircuitNode, bool]] = [(self.root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
             if node.node_id in visited:
-                return
+                continue
             visited.add(node.node_id)
-            for child in node.children:
-                visit(child)
-            order.append(node)
-
-        visit(self.root)
-        return order
+            stack.append((node, True))
+            for child in reversed(node.children):
+                if child.node_id not in visited:
+                    stack.append((child, False))
+        self._topo_cache = (self.root, order)
+        return list(order)
 
     def nodes(self) -> List[CircuitNode]:
         return self.topological_order()

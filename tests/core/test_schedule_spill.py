@@ -1,0 +1,134 @@
+"""Scheduler spill/reload regression tests.
+
+The PR-4 scheduler rework (ready-queue issue, per-bank resident maps)
+must not change a single emitted instruction.  These tests pin a
+bank-overflow kernel's spill behavior to the exact counts the
+pre-rework scheduler produced, so any future drift in victim selection,
+issue order or NOP insertion fails loudly.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.core.compiler import compile_dag
+from repro.core.compiler.program import InstructionKind
+from repro.core.compiler.schedule import _BankFile
+from repro.core.dag import circuit_to_dag
+from repro.pc.learn import random_circuit
+
+#: Two banks of three registers on two PEs: far fewer registers than
+#: the kernel's live values, so allocation must spill on most issues.
+TINY_REGFILE = replace(DEFAULT_CONFIG, num_banks=2, regs_per_bank=3, num_pes=2)
+
+
+@pytest.fixture(scope="module")
+def overflow_schedule():
+    circuit = random_circuit(8, depth=3, sum_children=3, seed=13)
+    dag, _ = circuit_to_dag(circuit)
+    program, stats = compile_dag(dag, TINY_REGFILE)
+    return program, stats
+
+
+class TestSpillReloadStability:
+    def test_spill_counts_match_pre_rework_scheduler(self, overflow_schedule):
+        _, stats = overflow_schedule
+        # Golden numbers recorded from the pre-PR4 scheduler on this
+        # exact kernel/config; the rework must reproduce them verbatim.
+        # reloads == 0 pins a pre-existing modeling gap carried over
+        # unchanged: allocate() clears the spilled mark before
+        # ensure_resident's RELOAD branch checks it, and only leaf
+        # inputs are rematerialized (leaves reload as LOADs), so no
+        # kernel currently emits RELOAD.  See the ROADMAP open item;
+        # fixing it will change cycles/energy and must update these
+        # goldens deliberately.
+        assert stats.schedule.spills == 149
+        assert stats.schedule.reloads == 0
+        assert stats.schedule.loads == 182
+
+    def test_scheduled_cycles_and_nops_stable(self, overflow_schedule):
+        _, stats = overflow_schedule
+        assert stats.schedule.cycles == 63
+        assert stats.schedule.nops == 21
+
+    def test_emitted_instruction_mix_stable(self, overflow_schedule):
+        program, _ = overflow_schedule
+        kinds = {}
+        for instruction in program.instructions:
+            kinds[instruction.kind] = kinds.get(instruction.kind, 0) + 1
+        assert kinds == {
+            InstructionKind.LOAD: 182,
+            InstructionKind.SPILL: 149,
+            InstructionKind.COMPUTE: 72,
+            InstructionKind.NOP: 21,
+        }
+
+    def test_spill_instructions_record_victim_locations(self, overflow_schedule):
+        program, _ = overflow_schedule
+        spills = [
+            instruction
+            for instruction in program.instructions
+            if instruction.kind is InstructionKind.SPILL
+        ]
+        for spill in spills:
+            assert len(spill.reads) == 1
+            bank, addr = spill.reads[0]
+            assert 0 <= bank < TINY_REGFILE.num_banks
+            assert 0 <= addr < TINY_REGFILE.regs_per_bank
+
+    def test_every_compute_sees_resident_operands(self, overflow_schedule):
+        program, _ = overflow_schedule
+        for instruction in program.instructions:
+            if instruction.kind is InstructionKind.COMPUTE:
+                for bank, addr in instruction.reads:
+                    assert 0 <= bank < TINY_REGFILE.num_banks
+                    assert 0 <= addr < TINY_REGFILE.regs_per_bank
+
+
+class TestBankFileBookkeeping:
+    """The per-bank resident maps must mirror the global address map.
+
+    ``ensure_resident`` never reaches the RELOAD branch on the kernel
+    above (leaves always reload as LOADs), so the evict→spilled→
+    reallocate bookkeeping is pinned directly here.
+    """
+
+    def test_evict_marks_spilled_and_frees_lowest_address(self):
+        banks = _BankFile(num_banks=2, regs_per_bank=2)
+        assert banks.allocate(10, bank=0) == (0, 0)
+        assert banks.allocate(11, bank=0) == (0, 1)
+        assert banks.allocate(12, bank=0) is None  # full
+        assert banks.evict(10) == (0, 0)
+        assert 10 in banks.spilled
+        assert not banks.resident(10)
+        # Reallocation reuses the lowest freed address and clears the
+        # spilled mark.
+        assert banks.allocate(10, bank=0) == (0, 0)
+        assert 10 not in banks.spilled
+
+    def test_values_in_bank_preserves_allocation_order(self):
+        banks = _BankFile(num_banks=2, regs_per_bank=3)
+        for value in (7, 5, 9):
+            banks.allocate(value, bank=1)
+        assert banks.values_in_bank(1) == [7, 5, 9]
+        banks.release(5)
+        assert banks.values_in_bank(1) == [7, 9]
+        # Re-allocation appends (it is a fresh insertion in both maps).
+        banks.allocate(5, bank=1)
+        assert banks.values_in_bank(1) == [7, 9, 5]
+        assert banks.values_in_bank(0) == []
+
+    def test_per_bank_maps_stay_consistent_with_address_of(self):
+        banks = _BankFile(num_banks=3, regs_per_bank=2)
+        for value, bank in ((1, 0), (2, 1), (3, 1), (4, 2)):
+            banks.allocate(value, bank)
+        banks.evict(2)
+        banks.release(4)
+        for bank in range(3):
+            expected = [
+                value
+                for value, (b, _) in banks.address_of.items()
+                if b == bank
+            ]
+            assert banks.values_in_bank(bank) == expected
