@@ -1,0 +1,246 @@
+"""Shared compile cache benchmark: private caches vs the two-level cache.
+
+Three claims the two-level cache makes, measured on a skewed mixed
+trace over a 4-shard service:
+
+1. **Cold compiles collapse to one per unique kernel.**  With private
+   per-shard caches, round-robin placement re-pays the offline front
+   end on every shard a kernel lands on (up to 4x per kernel).  With
+   shard-local LRUs over one :class:`SharedStore`, the first shard to
+   compile publishes the artifact and every other shard promotes it —
+   front-end runs == unique kernels, exactly.
+2. **Results are bit-identical.**  Sharing compiled artifacts must not
+   change a single report field: the benchmark compares every report
+   (result, cycles, energy, utilization) between the private-cache and
+   two-level runs and fails on any divergence.
+3. **A DiskStore survives process death.**  The same trace is served by
+   a *second process* pointed at the directory the first one populated:
+   it must start with a >0 shared hit rate and zero front-end runs.
+
+Run:  python benchmarks/bench_shared_cache.py [--tiny]
+"""
+
+import json
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from helpers import print_table  # noqa: E402
+
+from repro import DiskStore, ReasonService  # noqa: E402
+from repro.hmm.model import HMM  # noqa: E402
+from repro.logic.generators import random_ksat  # noqa: E402
+from repro.pc.learn import random_circuit  # noqa: E402
+
+
+def skewed_mixed_trace(tiny: bool = False):
+    """Few hot mixed kernels, many repeats, deterministic shuffle.
+
+    Returns ``(kernels, trace)``: the unique kernel fleet and the
+    request sequence over it (skew ~ hot kernels repeat far more than
+    cold ones, the pattern that makes cache sharing matter).
+    """
+    if tiny:
+        kernels = [
+            random_ksat(16, 60, seed=0),
+            random_circuit(4, depth=2, seed=1),
+            HMM.random(3, 4, seed=2),
+        ]
+        repeats = [6, 3, 3]
+    else:
+        kernels = [
+            random_ksat(40, 160, seed=0),
+            random_ksat(32, 120, seed=1),
+            random_circuit(6, depth=2, seed=2),
+            random_circuit(5, depth=2, seed=3),
+            HMM.random(4, 5, seed=4),
+            HMM.random(3, 6, seed=5),
+        ]
+        repeats = [24, 12, 8, 8, 6, 6]
+    trace = [
+        kernel for kernel, count in zip(kernels, repeats) for _ in range(count)
+    ]
+    random.Random(7).shuffle(trace)
+    return kernels, trace
+
+
+def serve(trace, store, queries: int):
+    """Serve the trace on 4 round-robin shards; round-robin placement
+    deliberately sprays repeats across every shard, so any cold-penalty
+    multiplication the cache level fails to absorb shows up in
+    ``front-end runs``."""
+    start = time.perf_counter()
+    with ReasonService(shards=4, policy="round-robin", store=store) as service:
+        futures = [service.submit(kernel, queries=queries) for kernel in trace]
+        reports = [future.result() for future in futures]
+        stats = service.stats()
+    wall_s = time.perf_counter() - start
+    prepares = sum(shard.prepare_calls for shard in stats.shards)
+    return reports, stats, prepares, wall_s
+
+
+def report_fields(report):
+    """The deterministic fields compared for bit-identity."""
+    return (
+        report.result,
+        report.cycles,
+        report.energy_j,
+        report.power_w,
+        report.utilization,
+        report.queries,
+    )
+
+
+def second_process_run(store_dir: Path, tiny: bool, queries: int) -> dict:
+    """Serve the same trace from a fresh process over the same
+    DiskStore — the cross-process warm-start the store exists for."""
+    output = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--child",
+            str(store_dir),
+            "--queries",
+            str(queries),
+        ]
+        + (["--tiny"] if tiny else []),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+def child_main(store_dir: str, tiny: bool, queries: int) -> None:
+    """Second-process entry: serve the trace, print stats as JSON."""
+    _, trace = skewed_mixed_trace(tiny)
+    reports, stats, prepares, _ = serve(trace, DiskStore(store_dir), queries)
+    shared_hits = sum(shard.cache.shared_hits for shard in stats.shards)
+    print(
+        json.dumps(
+            {
+                "prepares": prepares,
+                "shared_hits": shared_hits,
+                "warm_hit_rate": stats.warm_hit_rate,
+                "reports": [report_fields(report) for report in reports],
+            }
+        )
+    )
+
+
+def main() -> None:
+    if "--child" in sys.argv:
+        flag = sys.argv.index("--child")
+        store_dir = sys.argv[flag + 1]
+        queries = int(sys.argv[sys.argv.index("--queries") + 1])
+        child_main(store_dir, "--tiny" in sys.argv, queries)
+        return
+
+    tiny = "--tiny" in sys.argv
+    queries = 20 if tiny else 200
+    kernels, trace = skewed_mixed_trace(tiny)
+    unique = len(kernels)
+    print(
+        f"skewed mixed trace: {len(trace)} requests over {unique} unique "
+        f"kernels, 4 shards, round-robin ({'tiny' if tiny else 'full'} mode)"
+    )
+
+    private_reports, private_stats, private_prepares, private_wall = serve(
+        trace, None, queries
+    )
+    shared_reports, shared_stats, shared_prepares, shared_wall = serve(
+        trace, "shared", queries
+    )
+
+    rows = [
+        [
+            "private per-shard caches",
+            f"{private_stats.warm_hit_rate:7.0%}",
+            str(private_prepares),
+            f"{private_prepares / unique:.2f}",
+            f"{private_wall:6.3f}",
+        ],
+        [
+            "two-level (local LRU + SharedStore)",
+            f"{shared_stats.warm_hit_rate:7.0%}",
+            str(shared_prepares),
+            f"{shared_prepares / unique:.2f}",
+            f"{shared_wall:6.3f}",
+        ],
+    ]
+    print_table(
+        f"Cross-shard sharing: {len(trace)} requests, {unique} unique kernels",
+        ["cache", "warm hits", "front-end runs", "colds/kernel", "wall s"],
+        rows,
+    )
+
+    mismatches = sum(
+        1
+        for private_report, shared_report in zip(private_reports, shared_reports)
+        if report_fields(private_report) != report_fields(shared_report)
+    )
+    identical = mismatches == 0
+    once = shared_prepares == unique
+    print(
+        f"\ntwo-level cold compiles: {shared_prepares} for {unique} unique "
+        f"kernels [{'PASS' if once else 'FAIL'}] "
+        f"(private caches paid {private_prepares})"
+    )
+    print(
+        f"report bit-identity private vs two-level: "
+        f"{len(trace) - mismatches}/{len(trace)} "
+        f"[{'PASS' if identical else 'FAIL'}]"
+    )
+
+    # Cross-process: populate a DiskStore, then serve the same trace
+    # from a fresh interpreter that starts warm from disk.
+    with tempfile.TemporaryDirectory(prefix="reason-diskstore-") as scratch:
+        store_dir = Path(scratch) / "artifacts"
+        disk_reports, _, disk_prepares, _ = serve(
+            trace, DiskStore(store_dir), queries
+        )
+        child = second_process_run(store_dir, tiny, queries)
+    child_identical = child["reports"] == [
+        list(report_fields(report)) for report in disk_reports
+    ]
+    warm_start = child["shared_hits"] > 0 and child["prepares"] == 0
+    rows = [
+        [
+            "process 1 (cold disk)",
+            str(disk_prepares),
+            "-",
+            "-",
+        ],
+        [
+            "process 2 (same DiskStore)",
+            str(child["prepares"]),
+            str(child["shared_hits"]),
+            f"{child['warm_hit_rate']:7.0%}",
+        ],
+    ]
+    print_table(
+        "Cross-process sharing via DiskStore",
+        ["process", "front-end runs", "shared hits", "warm hits"],
+        rows,
+    )
+    print(
+        f"\nsecond process starts warm (shared hits "
+        f"{child['shared_hits']}, front-end runs {child['prepares']}) "
+        f"[{'PASS' if warm_start else 'FAIL'}]"
+    )
+    print(
+        f"second-process report identity: "
+        f"[{'PASS' if child_identical else 'FAIL'}]"
+    )
+
+    if not (identical and once and warm_start and child_identical):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

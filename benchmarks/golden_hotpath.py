@@ -664,16 +664,23 @@ def golden_schedule_program(
     stats = ScheduleStats()
     next_use_index: Dict[int, int] = dict(last_use)
 
-    def ensure_resident(value: int, position: int) -> List[VLIWInstruction]:
+    def ensure_resident(
+        value: int, pinned: frozenset = frozenset()
+    ) -> List[VLIWInstruction]:
         issued: List[VLIWInstruction] = []
         if banks.resident(value):
             return issued
+        # Same RELOAD-gap fix as the live scheduler: the spilled mark
+        # must be read before allocate() clears it, or the RELOAD
+        # branch below is dead code.
+        was_spilled = value in banks.spilled
         bank = assignment.bank_of.get(value, value % config.num_banks)
         slot = banks.allocate(value, bank)
         while slot is None:
             victims = banks.values_in_bank(bank)
+            unpinned = [v for v in victims if v not in pinned]
             victim = max(
-                victims,
+                unpinned or victims,
                 key=lambda v: next_use_index.get(v, len(ordered) + 1),
             )
             where = banks.evict(victim)
@@ -696,7 +703,7 @@ def golden_schedule_program(
                 )
             )
             stats.loads += 1
-        elif value in banks.spilled:
+        elif was_spilled:
             issued.append(
                 VLIWInstruction(
                     InstructionKind.RELOAD, write=slot, comment=f"reload {value}"
@@ -734,10 +741,16 @@ def golden_schedule_program(
 
         for slot, index in enumerate(issue_this_cycle):
             block = ordered[index]
+            # RELOAD-gap fix (mirrors the live scheduler): materialize
+            # every non-resident input, not only leaves, so spilled
+            # intermediates reload instead of reading stale addresses;
+            # the block's own inputs are pinned against eviction.
+            block_inputs = frozenset(block.inputs)
             for value in block.inputs:
-                node = dag.node(value)
-                if node.op in _LEAF_OPS and not banks.resident(value):
-                    program.instructions.extend(ensure_resident(value, index))
+                if not banks.resident(value):
+                    program.instructions.extend(
+                        ensure_resident(value, block_inputs)
+                    )
             conflicts = issue_conflicts(assignment, block)
             stats.stalls_bank_conflict += conflicts
             reads = [

@@ -40,18 +40,21 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
+    ArtifactStore,
     Backend,
     BatchResult,
     CompiledArtifact,
+    DiskStore,
     ExecutionReport,
     ReasonFuture,
     ReasonService,
     ReasonSession,
     RunOptions,
     ServiceBatchResult,
+    SharedStore,
     list_backends,
     list_policies,
     register_adapter,
@@ -75,6 +78,9 @@ __all__ = [
     "BatchResult",
     "ServiceBatchResult",
     "CompiledArtifact",
+    "ArtifactStore",
+    "SharedStore",
+    "DiskStore",
     "RunOptions",
     "CostEstimator",
     "Calibrator",

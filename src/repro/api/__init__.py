@@ -12,7 +12,11 @@ backend — and a sharded service when one session isn't enough.
 * :mod:`scheduler` — the placement-policy registry (``round-robin``,
   ``least-loaded``, ``cache-affinity``, ``predicted-makespan``,
   ``cost-aware``);
-* :mod:`cache` — the thread-safe content-addressed compile cache.
+* :mod:`cache` — the thread-safe two-level compile cache (local LRU
+  over an optional shared store);
+* :mod:`store` — content-addressed artifact stores behind the shared
+  cache level: in-process :class:`SharedStore` (cross-shard) and
+  pickled-file :class:`DiskStore` (cross-process, atomic writes).
 
 The time-aware policies route on :mod:`repro.costmodel` predictions:
 every service owns a :class:`~repro.costmodel.CostEstimator` that
@@ -39,6 +43,7 @@ from repro.api.backends import (
 )
 from repro.api.cache import CacheStats, CompileCache, content_key
 from repro.api.futures import ReasonFuture, wait_all
+from repro.api.store import ArtifactStore, DiskStore, SharedStore, make_store
 from repro.api.scheduler import (
     CacheAffinityPolicy,
     CostAwarePlacementPolicy,
@@ -103,4 +108,8 @@ __all__ = [
     "CompileCache",
     "CacheStats",
     "content_key",
+    "ArtifactStore",
+    "SharedStore",
+    "DiskStore",
+    "make_store",
 ]

@@ -7,21 +7,41 @@ artifacts by a content hash of the kernel, the architecture config and
 the optimization options, so structurally identical requests compile
 once and replay many times — the serving pattern the ROADMAP targets.
 
+The cache is **two-level**: a local LRU (always present) in front of an
+optional shared :class:`~repro.api.store.ArtifactStore`.  A lookup
+falls through local → shared → compile; shared hits are *promoted* into
+the local LRU, and fresh compiles are published back to the store.  N
+shard-local caches over one store therefore pay the cold front end once
+service-wide, and a :class:`~repro.api.store.DiskStore` extends the
+same sharing across processes.  :class:`CacheStats` accounts per level:
+``local_hits`` / ``shared_hits`` / ``misses`` / ``promotions``.
+
 The cache is thread-safe: every operation (lookup, insert, eviction,
 stats accounting) happens under one reentrant lock, so a session — or a
 :class:`~repro.api.service.ReasonService` shard — can be shared across
 threads without corrupting the LRU order or the hit/miss counters.
+Compiles run *outside* that lock under a per-key in-flight guard, so
+concurrent requests for the same missing kernel compile it exactly
+once while unrelated keys proceed in parallel.
 """
 
 from __future__ import annotations
 
 import hashlib
+import re
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Tuple, Union
 
+from repro.api.store import ArtifactStore, _OnceGuard, make_store
 from repro.api.types import CompiledArtifact
+
+#: CPython's default ``object.__repr__`` embeds the instance address
+#: (``<Foo object at 0x7f...>``), which differs between processes and
+#: even between runs — a silent key-stability killer for any shared
+#: store.  Reject such parts loudly instead of hashing garbage.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
 
 
 def content_key(*parts: object) -> str:
@@ -31,24 +51,51 @@ def content_key(*parts: object) -> str:
     everything else via ``repr`` — adapters are responsible for passing
     canonical, order-stable structures (sorted clause tuples,
     topologically ordered node serializations, frozen configs).
+
+    Parts whose repr falls back to the address-bearing default
+    ``object.__repr__`` (``<Foo object at 0x...>``) raise
+    :class:`TypeError`: such reprs change between processes, so the
+    resulting key would never match in a shared or on-disk store.
     """
     digest = hashlib.sha256()
     for part in parts:
         if isinstance(part, bytes):
             digest.update(part)
         else:
-            digest.update(repr(part).encode("utf-8"))
+            text = repr(part)
+            if _ADDRESS_REPR.search(text):
+                raise TypeError(
+                    f"content_key part {text!r} (type "
+                    f"{type(part).__name__}) has an address-based repr; "
+                    f"give it a stable __repr__ or pass a canonical "
+                    f"serialization instead"
+                )
+            digest.update(text.encode("utf-8"))
         digest.update(b"\x1f")  # field separator: avoid concat collisions
     return digest.hexdigest()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting surfaced by the session's reports."""
+    """Per-level hit/miss accounting surfaced by the session's reports.
 
-    hits: int = 0
+    Exactly one of ``local_hits`` / ``shared_hits`` / ``misses``
+    increments per lookup, so ``lookups = hits + misses`` always holds.
+    ``promotions`` counts shared-store artifacts copied into the local
+    LRU (every shared hit promotes); ``evictions`` counts LRU drops —
+    evicted artifacts remain fetchable from the shared store.
+    """
+
+    local_hits: int = 0
+    shared_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    promotions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across both levels."""
+        return self.local_hits + self.shared_hits
 
     @property
     def lookups(self) -> int:
@@ -60,19 +107,32 @@ class CacheStats:
 
 
 class CompileCache:
-    """Thread-safe LRU map from content key to :class:`CompiledArtifact`.
+    """Thread-safe two-level cache: local LRU over an optional store.
 
-    ``capacity=None`` means unbounded (the default: artifacts are small
-    relative to the kernels they were compiled from).
+    ``capacity=None`` means an unbounded local level (the default:
+    artifacts are small relative to the kernels they were compiled
+    from).  ``store`` attaches the shared level — an
+    :class:`~repro.api.store.ArtifactStore` instance or a spec string
+    (``"shared"`` / ``"disk:<path>"``).  Without a store the cache
+    behaves exactly like the original single-level LRU.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        store: Union[None, str, ArtifactStore] = None,
+    ):
         if capacity is not None and capacity <= 0:
             raise ValueError("cache capacity must be positive (or None)")
         self.capacity = capacity
+        self.store = make_store(store)
         self._lock = threading.RLock()
         self._stats = CacheStats()
         self._entries: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
+        # In-flight compile guard for the store-less configuration
+        # (with a store attached, the guard lives on the store so it is
+        # shared by every cache in front of it).
+        self._once = _OnceGuard()
 
     @property
     def stats(self) -> CacheStats:
@@ -80,9 +140,11 @@ class CompileCache:
         other threads keep hitting the cache)."""
         with self._lock:
             return CacheStats(
-                hits=self._stats.hits,
+                local_hits=self._stats.local_hits,
+                shared_hits=self._stats.shared_hits,
                 misses=self._stats.misses,
                 evictions=self._stats.evictions,
+                promotions=self._stats.promotions,
             )
 
     def __len__(self) -> int:
@@ -93,35 +155,113 @@ class CompileCache:
         with self._lock:
             return key in self._entries
 
-    def get(self, key: str) -> Optional[CompiledArtifact]:
+    def _local_get(self, key: str) -> Optional[CompiledArtifact]:
+        """Local-level probe: bumps LRU + local_hits, never the store."""
         with self._lock:
             artifact = self._entries.get(key)
             if artifact is None:
-                self._stats.misses += 1
                 return None
             self._entries.move_to_end(key)
-            self._stats.hits += 1
+            self._stats.local_hits += 1
             return artifact
 
+    def get(self, key: str) -> Optional[CompiledArtifact]:
+        """Two-level lookup: local LRU, then the shared store.
+
+        A shared hit is promoted into the local level (and counted in
+        ``stats.promotions``); a miss at both levels counts once in
+        ``stats.misses``.
+        """
+        artifact = self._local_get(key)
+        if artifact is not None:
+            return artifact
+        if self.store is not None:
+            artifact = self.store.get(key)
+            if artifact is not None:
+                with self._lock:
+                    self._stats.shared_hits += 1
+                    self._stats.promotions += 1
+                    self._insert(key, artifact)
+                return artifact
+        with self._lock:
+            self._stats.misses += 1
+        return None
+
     def peek(self, key: str) -> Optional[CompiledArtifact]:
-        """Stats-neutral lookup: no hit/miss accounting, no LRU bump.
-        Introspection paths (cost-feature extraction, tests) use this
-        so they never distort the serving hit rate."""
+        """Stats-neutral lookup: no hit/miss accounting, no LRU bump,
+        no promotion.  Introspection paths (cost-feature extraction,
+        tests) use this so they never distort the serving hit rate."""
+        with self._lock:
+            artifact = self._entries.get(key)
+        if artifact is None and self.store is not None:
+            artifact = self.store.get(key)
+        return artifact
+
+    def put(self, key: str, artifact: CompiledArtifact, publish: bool = True) -> None:
+        """Insert locally and (unless ``publish=False``) into the store."""
+        with self._lock:
+            self._insert(key, artifact)
+        if publish and self.store is not None:
+            self.store.put(key, artifact)
+
+    def get_or_compile(
+        self, key: str, factory: Callable[[], CompiledArtifact]
+    ) -> Tuple[CompiledArtifact, bool]:
+        """The full serve path: local → shared → compile-once.
+
+        Returns ``(artifact, cache_hit)``.  ``cache_hit`` is False only
+        for the caller whose factory actually ran; callers that joined
+        an in-flight compile (here or on the shared store) report a hit
+        — they paid a wait, not a front end.  The factory runs outside
+        the cache lock, so unrelated keys keep compiling in parallel.
+        """
+        artifact = self._local_get(key)
+        if artifact is not None:
+            return artifact, True
+        if self.store is not None:
+            # The store's guard spans every cache sharing it: N shards
+            # racing on one cold kernel run one front end between them.
+            artifact, compiled = self.store.fetch_or_compile(key, factory)
+            with self._lock:
+                if compiled:
+                    self._stats.misses += 1
+                else:
+                    self._stats.shared_hits += 1
+                    self._stats.promotions += 1
+                self._insert(key, artifact)
+            return artifact, not compiled
+        artifact, compiled = self._once.run(
+            key, self._peek_local, factory, self._publish_local
+        )
+        if compiled:
+            with self._lock:
+                self._stats.misses += 1
+        else:
+            # Joined another thread's in-flight compile: the artifact
+            # was served from this (local) level.
+            with self._lock:
+                self._stats.local_hits += 1
+                self._insert(key, artifact)
+        return artifact, not compiled
+
+    def _peek_local(self, key: str) -> Optional[CompiledArtifact]:
         with self._lock:
             return self._entries.get(key)
 
-    def put(self, key: str, artifact: CompiledArtifact) -> None:
+    def _publish_local(self, key: str, artifact: CompiledArtifact) -> None:
         with self._lock:
-            self._entries[key] = artifact
-            self._entries.move_to_end(key)
-            if self.capacity is not None and len(self._entries) > self.capacity:
-                self._evict_lru()
+            self._insert(key, artifact)
 
-    def _evict_lru(self) -> None:
-        # Caller holds the lock (put's over-capacity path).
-        self._entries.popitem(last=False)
-        self._stats.evictions += 1
+    def _insert(self, key: str, artifact: CompiledArtifact) -> None:
+        # Caller holds the lock.
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop the local level (the shared store, if any, is left
+        intact — other caches may still be serving from it)."""
         with self._lock:
             self._entries.clear()

@@ -64,7 +64,10 @@ class Request:
     request should run on whatever backend the chosen shard owns.
     ``predicted`` maps each eligible backend name to the cost model's
     :class:`~repro.costmodel.features.CostPrediction` (None when the
-    service runs without a cost model).
+    service runs without a cost model).  ``warm`` says the compiled
+    artifact already sits in the service's shared store, so *any*
+    shard serves this request without a cold front end — placement may
+    ignore compile penalties and cache locality for it.
     """
 
     kernel: object
@@ -75,6 +78,7 @@ class Request:
     queries: int
     neural_s: float
     predicted: Optional[PredictionMap] = None
+    warm: bool = False
 
     def predicted_for(self, view: ShardView):
         """This request's prediction on one shard's substrate (its
@@ -181,6 +185,13 @@ class CostAwarePlacementPolicy(SchedulingPolicy):
     keeps hot kernels from ping-ponging between cold caches.  Without
     predictions it degrades to least-loaded.
 
+    Requests flagged ``warm`` (their artifact is resident in the
+    service's shared store) carry no cold penalty anywhere: their
+    predictions arrive with ``compile_s == 0`` and the cold-start
+    stickiness below is skipped, so placement reduces to pure
+    completion-time minimization — with a two-level cache, affinity is
+    an optimization, not a correctness crutch.
+
     Placement is recorded optimistically at selection: if admission is
     subsequently rejected (backpressure timeout) the shard is still
     marked warm, slightly under-charging the next repeat — a bounded
@@ -204,8 +215,11 @@ class CostAwarePlacementPolicy(SchedulingPolicy):
         # carry no compile signal (compile_s is 0 everywhere), so a
         # burst of identical never-seen kernels would spread across
         # every cold cache.  Until the model learns, stick repeats to
-        # the shard that first took the fingerprint.
-        if all(p.source == "default" for p in request.predicted.values()):
+        # the shard that first took the fingerprint.  Store-warm
+        # requests skip this: every shard fetches them equally cheaply.
+        if not request.warm and all(
+            p.source == "default" for p in request.predicted.values()
+        ):
             for view in shards:
                 if request.fingerprint in self._placed.get(view.index, ()):
                     return view.index

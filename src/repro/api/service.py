@@ -53,6 +53,7 @@ from repro.api.cache import CacheStats
 from repro.api.futures import ReasonFuture
 from repro.api.scheduler import Request, SchedulingPolicy, ShardView, get_policy
 from repro.api.session import ReasonSession
+from repro.api.store import ArtifactStore, make_store
 from repro.api.types import ExecutionReport
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.system.pipeline import PipelineResult
@@ -336,6 +337,17 @@ class ReasonService:
         Architecture configuration shared by every shard.
     cache / cache_capacity:
         Forwarded to each shard's session.
+    store:
+        Optional shared compile-cache level behind every shard's local
+        LRU: an :class:`~repro.api.store.ArtifactStore` instance or a
+        spec string (``"shared"`` for one in-process store, or
+        ``"disk:<path>"`` for a cross-process
+        :class:`~repro.api.store.DiskStore`).  With a store attached,
+        a kernel front-end-compiles once *service-wide* instead of
+        once per shard — ``cache-affinity`` routing becomes a locality
+        optimization rather than the only defense against N× cold
+        penalties — and admission treats store-resident kernels as
+        warm when pricing cold-compile penalties.
     max_queue:
         Bound on each shard's admission queue — the backpressure knob.
     stats_window:
@@ -360,6 +372,7 @@ class ReasonService:
         max_queue: int = 128,
         stats_window: Optional[int] = 65536,
         cost_model: Optional[CostEstimator] = None,
+        store: Union[None, str, ArtifactStore] = None,
     ):
         if isinstance(shards, int):
             backends = ["reason"] * shards
@@ -376,12 +389,25 @@ class ReasonService:
         self.config = config
         self.policy = get_policy(policy)
         self.max_queue = max_queue
+        if store is not None and not cache:
+            raise ValueError(
+                "store= requires the compile cache: a shared store is a "
+                "cache level, so cache=False with a store is contradictory"
+            )
         self.cost_model = cost_model or CostEstimator(config=config)
         self._cache_enabled = cache
+        # One store instance resolved here and handed to every shard:
+        # the shard-local LRUs stay private, the shared level is common.
+        self.store = make_store(store)
         self._shards = [
             _Shard(
                 index,
-                ReasonSession(config=config, cache=cache, cache_capacity=cache_capacity),
+                ReasonSession(
+                    config=config,
+                    cache=cache,
+                    cache_capacity=cache_capacity,
+                    store=self.store,
+                ),
                 max_queue,
                 stats_window,
                 backend=backend,
@@ -391,6 +417,18 @@ class ReasonService:
         ]
         self._closed = False
         self._admission_lock = threading.Lock()  # serializes policy.select
+        # Fingerprints confirmed store-resident: content-addressed
+        # artifacts never change under a key, so one positive probe
+        # answers every repeat — admission stats a DiskStore at most
+        # once per unique cold kernel, not once per request.  FIFO-
+        # bounded like the cost-aware policy's placement memo; and
+        # like it, the memo is optimistic: emptying the store out from
+        # under a live service leaves stale warm flags, which mis-price
+        # predictions (compile charged as 0) but never affect
+        # correctness — shards simply recompile.  (Dict ops are atomic
+        # under the GIL; a racy duplicate probe is harmless.)
+        self._warm_fingerprints: Dict[str, None] = {}
+        self._max_warm_tracked = 65536
 
     # ------------------------------------------------------------ plumbing
 
@@ -517,12 +555,31 @@ class ReasonService:
             raise ValueError("queries must be >= 1")
         adapter = adapter_for(kernel)
         fingerprint = adapter.fingerprint(kernel, options, self.config)
+        # A store-resident artifact makes the kernel warm *service-wide*:
+        # whichever shard the policy picks fetches it instead of paying
+        # the front end, so no placement should be charged a cold
+        # compile penalty for it.
+        warm = self.store is not None and (
+            fingerprint in self._warm_fingerprints or fingerprint in self.store
+        )
+        if warm:
+            self._warm_fingerprints[fingerprint] = None
+            if len(self._warm_fingerprints) > self._max_warm_tracked:
+                try:
+                    oldest = next(iter(self._warm_fingerprints))
+                except StopIteration:  # racing trims emptied the memo
+                    oldest = None
+                if oldest is not None:
+                    # pop with default: another thread may have
+                    # trimmed the same oldest key between our read
+                    # and this pop.
+                    self._warm_fingerprints.pop(oldest, None)
         # One prediction per substrate the request could land on: the
         # forced backend, or every distinct shard backend.
         eligible = {backend} if backend is not None else set(self.shard_backends)
         predicted = {
             name: self.cost_model.predict(
-                fingerprint, name, queries=queries, kind=adapter.kind
+                fingerprint, name, queries=queries, kind=adapter.kind, warm=warm
             )
             for name in eligible
         }
@@ -535,6 +592,7 @@ class ReasonService:
             queries=queries,
             neural_s=float(neural_s),
             predicted=predicted,
+            warm=warm,
         )
         with self._admission_lock:
             views = [

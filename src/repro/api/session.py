@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.api.adapters import RunOptions, adapter_for
 from repro.api.backends import Backend, get_backend, list_backends
 from repro.api.cache import CacheStats, CompileCache
+from repro.api.store import ArtifactStore
 from repro.api.types import BatchResult, CompiledArtifact, ExecutionReport
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.system.pipeline import TwoLevelPipeline
@@ -45,6 +46,14 @@ class ReasonSession:
         Enable the content-hash compile cache (on by default).
     cache_capacity:
         Optional LRU bound on cached artifacts (None = unbounded).
+    store:
+        Optional shared level behind the local LRU: an
+        :class:`~repro.api.store.ArtifactStore` instance or a spec
+        string (``"shared"`` / ``"disk:<path>"``).  Sessions handed
+        the same store share compiled artifacts — a kernel compiled by
+        any of them is a (shared) cache hit for all of them.
+        Contradicts ``cache=False`` (the store is a cache level), so
+        that combination raises :class:`ValueError`.
     """
 
     def __init__(
@@ -52,10 +61,16 @@ class ReasonSession:
         config: ArchConfig = DEFAULT_CONFIG,
         cache: bool = True,
         cache_capacity: Optional[int] = None,
+        store: Union[None, str, ArtifactStore] = None,
     ):
+        if store is not None and not cache:
+            raise ValueError(
+                "store= requires the compile cache: a shared store is a "
+                "cache level, so cache=False with a store is contradictory"
+            )
         self.config = config
         self._cache: Optional[CompileCache] = (
-            CompileCache(capacity=cache_capacity) if cache else None
+            CompileCache(capacity=cache_capacity, store=store) if cache else None
         )
         self._backends: Dict[str, Backend] = {}
         self._prepare_calls = 0
@@ -66,6 +81,11 @@ class ReasonSession:
     @property
     def cache_enabled(self) -> bool:
         return self._cache is not None
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The shared store behind the local cache level, if any."""
+        return self._cache.store if self._cache is not None else None
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -129,26 +149,31 @@ class ReasonSession:
 
         Returns ``(artifact, cache_hit)`` — the hit flag comes from this
         lookup itself, not from a stats delta, so concurrent callers on
-        a shared session can't misattribute each other's hits.  ``key``
-        accepts a precomputed fingerprint for this (kernel, options,
-        config) so serving layers don't hash the kernel twice.
+        a shared session can't misattribute each other's hits.  A hit
+        may be served by either cache level: the local LRU, or the
+        shared store another session (shard, process) compiled into.
+        ``key`` accepts a precomputed fingerprint for this (kernel,
+        options, config) so serving layers don't hash the kernel twice.
         """
         adapter = adapter_for(kernel)
-        if self._cache is not None:
-            if key is None:
-                key = adapter.fingerprint(kernel, options, self.config)
-            cached = self._cache.get(key)
-            if cached is not None:
-                return cached, True
-        start = time.perf_counter()
-        artifact = adapter.prepare(kernel, options, self.config)
-        artifact.compile_s = time.perf_counter() - start
-        artifact.key = key or ""
-        with self._lock:
-            self._prepare_calls += 1
-        if self._cache is not None:
-            self._cache.put(key, artifact)
-        return artifact, False
+
+        def compile_cold() -> CompiledArtifact:
+            start = time.perf_counter()
+            artifact = adapter.prepare(kernel, options, self.config)
+            artifact.compile_s = time.perf_counter() - start
+            artifact.key = key or ""
+            with self._lock:
+                self._prepare_calls += 1
+            return artifact
+
+        if self._cache is None:
+            return compile_cold(), False
+        if key is None:
+            key = adapter.fingerprint(kernel, options, self.config)
+        # The cache runs the factory at most once per in-flight key —
+        # concurrent requests for the same cold kernel (across threads,
+        # and across shards when a store is attached) join one compile.
+        return self._cache.get_or_compile(key, compile_cold)
 
     # ----------------------------------------------------------------- run
 

@@ -126,17 +126,32 @@ def schedule_program(
     stats = ScheduleStats()
     next_use_index: Dict[int, int] = dict(last_use)
 
-    def ensure_resident(value: int, position: int) -> List[VLIWInstruction]:
-        """Materialize a value into its bank, spilling if needed."""
+    def ensure_resident(
+        value: int, pinned: frozenset = frozenset()
+    ) -> List[VLIWInstruction]:
+        """Materialize a value into its bank, spilling if needed.
+
+        ``pinned`` holds the issuing block's inputs: they are exempt
+        from victim selection whenever any other resident value can be
+        evicted instead, so materializing one operand does not
+        silently evict a sibling operand the COMPUTE is about to read.
+        (Only when a block's same-bank inputs exceed the bank itself
+        is a pinned sibling evicted — the unavoidable case.)
+        """
         issued: List[VLIWInstruction] = []
         if banks.resident(value):
             return issued
+        # Captured before allocate(), which clears the spilled mark:
+        # this is what decides LOAD (never-resident leaf) vs RELOAD
+        # (evicted value coming back from shared memory).
+        was_spilled = value in banks.spilled
         bank = assignment.bank_of.get(value, value % config.num_banks)
         slot = banks.allocate(value, bank)
         while slot is None:
             victims = banks.values_in_bank(bank)
+            unpinned = [v for v in victims if v not in pinned]
             victim = max(
-                victims,
+                unpinned or victims,
                 key=lambda v: next_use_index.get(v, len(ordered) + 1),
             )
             where = banks.evict(victim)
@@ -159,7 +174,7 @@ def schedule_program(
                 )
             )
             stats.loads += 1
-        elif value in banks.spilled:
+        elif was_spilled:
             issued.append(
                 VLIWInstruction(InstructionKind.RELOAD, write=slot, comment=f"reload {value}")
             )
@@ -201,11 +216,18 @@ def schedule_program(
 
         for slot, index in enumerate(issue_this_cycle):
             block = ordered[index]
-            # Materialize leaf inputs (block outputs are written by HW).
+            # Materialize every non-resident input: leaves arrive as
+            # LOADs, spilled intermediates come back as RELOADs (they
+            # used to be silently read through a stale-address
+            # fallback with no instruction or cycle/energy cost).
+            # Pinning the block's own inputs keeps one operand's
+            # materialization from evicting a sibling operand.
+            block_inputs = frozenset(block.inputs)
             for value in block.inputs:
-                node = dag.node(value)
-                if node.op in _LEAF_OPS and not banks.resident(value):
-                    program.instructions.extend(ensure_resident(value, index))
+                if not banks.resident(value):
+                    program.instructions.extend(
+                        ensure_resident(value, block_inputs)
+                    )
             conflicts = issue_conflicts(assignment, block)
             stats.stalls_bank_conflict += conflicts
             reads = [

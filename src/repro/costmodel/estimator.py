@@ -130,11 +130,18 @@ class CostEstimator:
         backend: str,
         queries: int = 1,
         kind: Optional[str] = None,
+        warm: bool = False,
     ) -> CostPrediction:
         """Best available per-request cost for one (kernel, backend).
 
         Falls through static-model × fingerprint residual → class
         prior → cold-start default; see :class:`CostPrediction.source`.
+
+        ``warm=True`` declares the compiled artifact already available
+        to whoever serves the request (e.g. resident in a service's
+        shared :class:`~repro.api.store.ArtifactStore`), so the
+        returned ``compile_s`` is zero: a shared hit is not a cold
+        compile, and placement policies must not charge it as one.
         """
         queries = max(int(queries), 1)
         features = self.features_for(fingerprint)
@@ -154,9 +161,12 @@ class CostEstimator:
         energy_per_query = self.calibrator.energy(fingerprint, backend)
         if energy_per_query is None and features is not None:
             energy_per_query = self.raw_energy(features, backend)
-        compile_s = features.compile_s if features is not None else None
-        if not compile_s:
-            compile_s = self.calibrator.compile_seconds(kind)
+        if warm:
+            compile_s = 0.0
+        else:
+            compile_s = features.compile_s if features is not None else None
+            if not compile_s:
+                compile_s = self.calibrator.compile_seconds(kind)
         return CostPrediction(
             backend=backend,
             seconds=seconds,

@@ -42,6 +42,25 @@ class TestCompileCache:
         assert content_key("ab", "c") != content_key("a", "bc")
         assert content_key(b"raw") != content_key("raw")
 
+    def test_content_key_rejects_address_based_reprs(self):
+        """A part repr'ing through the default ``object.__repr__``
+        embeds its memory address: two processes would hash different
+        keys for identical content, so shared-store lookups could never
+        match.  Reject loudly instead of silently destabilizing."""
+
+        class ReprLess:
+            pass
+
+        with pytest.raises(TypeError, match="ReprLess"):
+            content_key("kind", ReprLess())
+        # Containers leak the default repr too.
+        with pytest.raises(TypeError):
+            content_key(("kind", object()))
+        # Stable reprs keep working, including across repeated calls.
+        assert content_key("kind", (1, 2.5, "x")) == content_key(
+            "kind", (1, 2.5, "x")
+        )
+
     def test_stats_snapshot_is_stable(self):
         cache = CompileCache()
         cache.get("missing")

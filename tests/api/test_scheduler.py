@@ -20,7 +20,7 @@ from repro.costmodel import CostPrediction
 
 
 def request(
-    fingerprint: str = "ab" * 32, backend="reason", predicted=None
+    fingerprint: str = "ab" * 32, backend="reason", predicted=None, warm=False
 ) -> Request:
     return Request(
         kernel=None,
@@ -31,6 +31,7 @@ def request(
         queries=1,
         neural_s=0.0,
         predicted=predicted,
+        warm=warm,
     )
 
 
@@ -212,6 +213,37 @@ class TestCostAwarePlacement:
     def test_falls_back_to_least_loaded_without_predictions(self):
         policy = CostAwarePlacementPolicy()
         assert policy.select(request(), views(2, 2, 1)) == 2
+
+    def test_warm_request_skips_cold_start_stickiness(self):
+        """A store-warm kernel is equally cheap on every shard: load
+        should decide placement, not which shard first saw it."""
+        policy = CostAwarePlacementPolicy()
+        cold = {"reason": CostPrediction(backend="reason", seconds=1e-4)}
+        shards = [ShardView(0, 0, 0), ShardView(1, 0, 0)]
+        assert policy.select(request("aa", predicted=cold), shards) == 0
+        # Shard 0 busier now; the sticky branch would pin the repeat
+        # there, but a warm request follows the load instead.
+        busier = [ShardView(0, 1, 0, busy_s=1e-4), ShardView(1, 0, 0)]
+        assert (
+            policy.select(request("aa", predicted=cold, warm=True), busier) == 1
+        )
+
+    def test_warm_predictions_carry_no_compile_penalty(self):
+        """The service zeroes compile_s for store-resident kernels, so
+        a never-placed shard competes on equal footing — affinity is an
+        optimization, not a correctness crutch."""
+        policy = CostAwarePlacementPolicy()
+        cold = {"reason": prediction("reason", 1.0, compile_s=5.0)}
+        shards = [ShardView(0, 0, 0, "reason"), ShardView(1, 0, 0, "reason")]
+        assert policy.select(request("aa", predicted=cold), shards) == 0
+        # Same kernel now resident in the shared store: its prediction
+        # arrives with compile_s=0, so the less-busy cold shard wins
+        # even though shard 0 holds the placement record.
+        warm = {"reason": prediction("reason", 1.0, compile_s=0.0)}
+        busier = [ShardView(0, 0, 0, "reason", busy_s=2.0), shards[1]]
+        assert (
+            policy.select(request("aa", predicted=warm, warm=True), busier) == 1
+        )
 
 
 class TestRegistry:

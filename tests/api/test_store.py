@@ -1,0 +1,362 @@
+"""Two-level compile cache: shared stores, promotion, once-guard.
+
+Covers the cross-shard/cross-process sharing semantics the serving
+layer depends on: N local LRUs over one store compile each kernel once
+service-wide, disk round-trips replay bit-identically, eviction is
+recoverable via re-promotion, and the per-level stats stay arithmetic.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.api import (
+    CompileCache,
+    DiskStore,
+    ReasonService,
+    ReasonSession,
+    SharedStore,
+    make_store,
+)
+from repro.api.store import ArtifactStore
+from repro.api.types import CompiledArtifact
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit, sample_dataset
+
+
+def _artifact(key: str) -> CompiledArtifact:
+    return CompiledArtifact(kind="cnf", key=key, kernel=None)
+
+
+class TestSharedStore:
+    def test_put_get_contains_len_keys_clear(self):
+        store = SharedStore()
+        assert store.get("k") is None and "k" not in store and len(store) == 0
+        store.put("k", _artifact("k"))
+        assert "k" in store and len(store) == 1 and store.keys() == ["k"]
+        assert store.get("k").key == "k"
+        store.clear()
+        assert len(store) == 0
+
+    def test_fetch_or_compile_runs_factory_once_per_key(self):
+        store = SharedStore()
+        calls = []
+        artifact, compiled = store.fetch_or_compile(
+            "k", lambda: calls.append(1) or _artifact("k")
+        )
+        assert compiled and len(calls) == 1
+        again, compiled = store.fetch_or_compile(
+            "k", lambda: calls.append(1) or _artifact("k")
+        )
+        assert not compiled and len(calls) == 1 and again is artifact
+
+    def test_concurrent_threads_share_one_compile(self):
+        """The in-flight guard: many threads racing on one cold key run
+        the factory exactly once; late arrivals block and receive the
+        winner's artifact."""
+        store = SharedStore()
+        started = threading.Barrier(8)
+        compiling = threading.Event()
+        release = threading.Event()
+        compile_count = []
+        lock = threading.Lock()
+        results = []
+
+        def factory():
+            compiling.set()
+            release.wait(timeout=10)
+            with lock:
+                compile_count.append(1)
+            return _artifact("hot")
+
+        def worker():
+            started.wait(timeout=10)
+            results.append(store.fetch_or_compile("hot", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let the owner enter the factory, then release it while the
+        # other 7 are parked on the in-flight event.
+        compiling.wait(timeout=10)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert len(compile_count) == 1
+        assert len(results) == 8
+        assert sum(1 for _, compiled in results if compiled) == 1
+        artifacts = {id(artifact) for artifact, _ in results}
+        assert len(artifacts) == 1  # everyone got the winner's object
+
+    def test_factory_failure_releases_the_key(self):
+        store = SharedStore()
+
+        def boom():
+            raise RuntimeError("front end exploded")
+
+        with pytest.raises(RuntimeError):
+            store.fetch_or_compile("k", boom)
+        # The key is not wedged: the next caller becomes the owner.
+        artifact, compiled = store.fetch_or_compile("k", lambda: _artifact("k"))
+        assert compiled and artifact.key == "k"
+
+
+class TestDiskStore:
+    def test_round_trip_and_atomic_layout(self, tmp_path):
+        store = DiskStore(tmp_path / "artifacts")
+        artifact = _artifact("a" * 64)
+        store.put("a" * 64, artifact)
+        assert "a" * 64 in store and store.keys() == ["a" * 64]
+        loaded = store.get("a" * 64)
+        assert loaded.kind == "cnf" and loaded.key == "a" * 64
+        # No temp-file droppings next to the committed artifact.
+        leftovers = [
+            entry
+            for entry in (tmp_path / "artifacts").iterdir()
+            if entry.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_unsafe_keys_are_aliased_not_escaped(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("../../etc/passwd", _artifact("x"))
+        # The artifact is retrievable under its original key, and the
+        # file lives inside the store directory under a digest alias.
+        assert store.get("../../etc/passwd") is not None
+        assert all(entry.parent == store.path for entry in store.path.iterdir())
+
+    def test_replayed_reports_bit_identical_across_processes(self, tmp_path):
+        """Round-tripping an artifact through pickle+disk must replay
+        to the exact report the compiling session produced — the
+        cross-process serving guarantee."""
+        circuit = random_circuit(6, depth=2, sum_children=2, seed=3)
+        options = {"calibration": sample_dataset(circuit, 8, seed=5)}
+        kernels = [
+            ("cnf", random_ksat(24, 96, seed=7), {}),
+            ("circuit", circuit, options),
+        ]
+        store = DiskStore(tmp_path / "store")
+        first = ReasonSession(store=store)
+        baseline = {
+            name: first.run(kernel, queries=3, **opts)
+            for name, kernel, opts in kernels
+        }
+        assert first.prepare_calls == len(kernels)
+
+        # A fresh session over the same directory (as a new process
+        # would construct) starts warm and replays identically.
+        second = ReasonSession(store=DiskStore(tmp_path / "store"))
+        for name, kernel, opts in kernels:
+            replayed = second.run(kernel, queries=3, **opts)
+            assert replayed.cache_hit
+            assert replayed.result == baseline[name].result
+            assert replayed.cycles == baseline[name].cycles
+            assert replayed.energy_j == baseline[name].energy_j
+            assert replayed.utilization == baseline[name].utilization
+        assert second.prepare_calls == 0
+        assert second.cache_stats.shared_hits == len(kernels)
+
+    def test_pickle_protocol_stability(self, tmp_path):
+        store = DiskStore(tmp_path)
+        session = ReasonSession(store=store)
+        kernel = random_ksat(12, 40, seed=1)
+        session.run(kernel)
+        (key,) = store.keys()
+        with open(store.path / f"{key}{DiskStore._SUFFIX}", "rb") as handle:
+            artifact = pickle.load(handle)
+        assert artifact.key == key
+
+
+class TestTwoLevelCache:
+    def test_shared_hit_promotes_into_local(self):
+        store = SharedStore()
+        store.put("k", _artifact("k"))
+        cache = CompileCache(store=store)
+        assert "k" not in cache  # local level empty
+        artifact = cache.get("k")
+        assert artifact is not None
+        assert "k" in cache  # promoted
+        stats = cache.stats
+        assert stats.shared_hits == 1 and stats.promotions == 1
+        cache.get("k")
+        assert cache.stats.local_hits == 1  # second lookup served locally
+
+    def test_lru_eviction_recovers_via_repromotion(self):
+        """An artifact evicted from the local LRU is not lost: the next
+        lookup re-promotes it from the shared store instead of paying a
+        recompile."""
+        store = SharedStore()
+        cache = CompileCache(capacity=2, store=store)
+        for key in ("a", "b", "c"):  # "a" falls out of the LRU
+            cache.put(key, _artifact(key))
+        assert "a" not in cache and len(cache) == 2
+        assert cache.stats.evictions == 1
+        artifact = cache.get("a")
+        assert artifact is not None and artifact.key == "a"
+        stats = cache.stats
+        assert stats.shared_hits == 1 and stats.promotions == 1
+        assert stats.misses == 0
+
+    def test_per_level_stats_arithmetic(self):
+        store = SharedStore()
+        cache = CompileCache(store=store)
+        cache.get("missing")  # miss at both levels
+        cache.put("k", _artifact("k"))
+        cache.get("k")  # local hit
+        store.put("s", _artifact("s"))
+        cache.get("s")  # shared hit + promotion
+        cache.get("s")  # local hit after promotion
+        stats = cache.stats
+        assert stats.local_hits == 2
+        assert stats.shared_hits == 1
+        assert stats.misses == 1
+        assert stats.promotions == 1
+        assert stats.hits == stats.local_hits + stats.shared_hits == 3
+        assert stats.lookups == stats.hits + stats.misses == 4
+        assert stats.hit_rate == pytest.approx(3 / 4)
+
+    def test_get_or_compile_counts_miss_once_and_publishes(self):
+        store = SharedStore()
+        cache = CompileCache(store=store)
+        artifact, hit = cache.get_or_compile("k", lambda: _artifact("k"))
+        assert not hit and artifact.key == "k"
+        assert cache.stats.misses == 1
+        assert "k" in store  # published for other caches
+        # A sibling cache over the same store gets a shared hit, not a
+        # compile.
+        sibling = CompileCache(store=store)
+        artifact2, hit2 = sibling.get_or_compile(
+            "k", lambda: pytest.fail("must not recompile")
+        )
+        assert hit2 and artifact2 is artifact
+        assert sibling.stats.shared_hits == 1 and sibling.stats.misses == 0
+
+    def test_clear_drops_local_level_only(self):
+        store = SharedStore()
+        cache = CompileCache(store=store)
+        cache.put("k", _artifact("k"))
+        cache.clear()
+        assert len(cache) == 0
+        assert "k" in store
+        assert cache.get("k") is not None  # re-promoted
+
+    def test_concurrent_sessions_over_one_store_compile_once(self):
+        """Four 'shards' (sessions sharing a store) racing on the same
+        cold kernel run one front end total."""
+        store = SharedStore()
+        sessions = [ReasonSession(store=store) for _ in range(4)]
+        kernel = random_ksat(30, 120, seed=11)
+        reports = [None] * len(sessions)
+
+        def worker(index):
+            reports[index] = sessions[index].run(kernel)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(len(sessions))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sum(session.prepare_calls for session in sessions) == 1
+        assert len({report.result for report in reports}) == 1
+        assert len({report.cycles for report in reports}) == 1
+        assert sum(1 for report in reports if not report.cache_hit) == 1
+
+
+class TestMakeStore:
+    def test_specs(self, tmp_path):
+        assert make_store(None) is None
+        shared = SharedStore()
+        assert make_store(shared) is shared
+        assert isinstance(make_store("shared"), SharedStore)
+        disk = make_store(f"disk:{tmp_path / 'cache'}")
+        assert isinstance(disk, DiskStore)
+        assert disk.path == tmp_path / "cache"
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(TypeError):
+            make_store(42)
+        with pytest.raises(ValueError):
+            make_store("disk:")
+        with pytest.raises(ValueError):
+            make_store("redis")
+
+    def test_artifact_store_is_abstract(self):
+        with pytest.raises(TypeError):
+            ArtifactStore()
+
+
+class TestServiceSharedStore:
+    def test_unique_kernels_compile_once_service_wide(self):
+        """The headline: with round-robin spraying requests across all
+        shards, a private-cache service front-end-compiles per shard,
+        a store-backed service compiles once per unique kernel."""
+        kernels = [random_ksat(16 + 2 * n, 60, seed=n) for n in range(3)]
+        trace = [kernels[index % len(kernels)] for index in range(12)]
+
+        with ReasonService(shards=4, policy="round-robin") as private:
+            private_reports = [
+                future.result() for future in private.submit_batch(trace)
+            ]
+            private_prepares = sum(
+                shard.prepare_calls for shard in private.stats().shards
+            )
+
+        with ReasonService(
+            shards=4, policy="round-robin", store="shared"
+        ) as shared:
+            shared_reports = [
+                future.result() for future in shared.submit_batch(trace)
+            ]
+            shared_prepares = sum(
+                shard.prepare_calls for shard in shared.stats().shards
+            )
+
+        assert shared_prepares == len(kernels)  # exactly once per kernel
+        assert private_prepares > shared_prepares  # paid per shard before
+        for private_report, shared_report in zip(private_reports, shared_reports):
+            assert shared_report.result == private_report.result
+            assert shared_report.cycles == private_report.cycles
+            assert shared_report.energy_j == private_report.energy_j
+
+    def test_store_with_cache_off_is_rejected(self):
+        """A store is a cache level: silently dropping it on
+        cache=False would leave a user believing cross-process sharing
+        is on while every request compiles cold."""
+        with pytest.raises(ValueError, match="cache=False"):
+            ReasonService(shards=2, cache=False, store="shared")
+        with pytest.raises(ValueError, match="cache=False"):
+            ReasonSession(cache=False, store="shared")
+
+    def test_corrupt_disk_entry_is_a_miss_not_an_error(self, tmp_path):
+        store = DiskStore(tmp_path)
+        session = ReasonSession(store=store)
+        kernel = random_ksat(12, 40, seed=9)
+        session.run(kernel)
+        (key,) = store.keys()
+        # Truncate the committed artifact: a reader crash mid-download,
+        # a full disk, or an incompatible old library version.
+        path = store.path / f"{key}{DiskStore._SUFFIX}"
+        path.write_bytes(path.read_bytes()[:16])
+        assert store.get(key) is None  # miss, not UnpicklingError
+        fresh = ReasonSession(store=DiskStore(tmp_path))
+        report = fresh.run(kernel)  # recompiles and rewrites the entry
+        assert not report.cache_hit and fresh.prepare_calls == 1
+        assert store.get(key) is not None
+
+    def test_stats_aggregate_both_levels(self):
+        kernel = random_ksat(14, 50, seed=2)
+        with ReasonService(
+            shards=2, policy="round-robin", store="shared"
+        ) as service:
+            for _ in range(4):
+                service.submit(kernel).result()
+            stats = service.stats()
+        assert stats.cache_hits + stats.cache_misses == 4
+        assert stats.cache_misses == 1
+        assert stats.warm_hit_rate == pytest.approx(3 / 4)

@@ -126,6 +126,20 @@ class TestStaticPrediction:
         with pytest.raises(KeyError):
             device_named("abacus")
 
+    def test_warm_prediction_zeroes_the_compile_penalty(self):
+        """``warm=True`` declares the artifact shared-store resident:
+        whoever serves the request fetches instead of compiling, so
+        the prediction must not carry a cold front-end charge."""
+        estimator = CostEstimator()
+        estimator.record_artifact("f1", fake_artifact(compile_s=0.25))
+        cold = estimator.predict("f1", "reason")
+        warm = estimator.predict("f1", "reason", warm=True)
+        assert cold.compile_s == pytest.approx(0.25)
+        assert warm.compile_s == 0.0
+        # Execution cost is untouched — only the compile term is warm.
+        assert warm.seconds == cold.seconds
+        assert warm.source == cold.source
+
     def test_unknown_fingerprint_falls_back_to_default(self):
         estimator = CostEstimator(default_s=1e-3)
         prediction = estimator.predict("never-seen", "reason", queries=3)
