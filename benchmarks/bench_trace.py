@@ -1,0 +1,240 @@
+"""Event-trace subsystem benchmark: encoding density, throughput, and
+the on-vs-off execution overhead.
+
+Four numbers the ``repro.trace`` format claims, measured here:
+
+1. **Density.**  A realistic mixed stream (solver replay + program
+   execution events) encodes at <= 6 bytes/event mean — the varint +
+   cycle-delta code-byte layout, not a fixed-width record.
+2. **Write throughput.**  ``TraceWriter.emit`` sustains hundreds of
+   thousands of events/sec in pure Python (it is called from inside
+   the execution loop, so this bounds the traced-run slowdown).
+3. **Read/query throughput.**  Full streaming decode and the
+   kind-filtered query path both scan the same stream; the footer
+   ``summary()`` is O(footer) regardless of stream length.
+4. **Overhead when off is zero-ish, when on is bounded.**  The same
+   kernels run traced and untraced; reports must be bit-identical
+   (tracing is observation-only) and the traced slowdown is printed.
+
+Every traced run is also cross-validated: the summed trace events must
+reproduce the ``ExecutionReport`` counters exactly, and a full decode
+must agree with the footer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py          # full run
+    PYTHONPATH=src python benchmarks/bench_trace.py --tiny   # CI smoke
+
+``--tiny`` keeps every correctness gate (density, decode identity,
+cross-validation, report identity) but skips throughput assertions:
+timing on shared CI runners is noise, correctness is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from helpers import print_table  # noqa: E402
+
+from repro import ReasonSession  # noqa: E402
+from repro.logic.generators import pigeonhole, random_ksat  # noqa: E402
+from repro.pc.learn import random_circuit  # noqa: E402
+from repro.trace import (  # noqa: E402
+    EventKind,
+    TraceReader,
+    TraceWriter,
+    cross_validate,
+    read_trace,
+)
+from repro.trace.format import EVENT_SCHEMA  # noqa: E402
+
+
+def build_kernels(tiny: bool = False) -> List[Tuple[str, object, dict]]:
+    """(name, kernel, run options) — mixed symbolic + program kernels."""
+    if tiny:
+        return [
+            ("ksat-20x80", random_ksat(20, 80, seed=3), {}),
+            ("circuit-6", random_circuit(6, depth=2, sum_children=2, seed=3), {}),
+        ]
+    return [
+        ("ksat-40x160", random_ksat(40, 160, seed=3), {}),
+        ("ksat-60x240", random_ksat(60, 240, seed=9), {}),
+        ("pigeonhole-4", pigeonhole(4), {}),
+        ("circuit-8", random_circuit(8, depth=3, sum_children=3, seed=3), {}),
+        ("ksat-30x120-q5", random_ksat(30, 120, seed=1), {"queries": 5}),
+    ]
+
+
+def synthetic_stream(events: int, seed: int = 11):
+    """Kind/operand mix modeled on a real replay trace: mostly
+    propagations, bank reads and watch updates with small cycle deltas."""
+    rng = random.Random(seed)
+    stream = []
+    cycle = 0
+    for _ in range(events):
+        cycle += rng.choice((0, 1, 1, 2, 3))
+        kind = rng.choice(
+            (
+                EventKind.PROPAGATE,
+                EventKind.PROPAGATE,
+                EventKind.BANK_READ,
+                EventKind.WATCH_UPDATE,
+                EventKind.DECIDE,
+            )
+        )
+        nfields, signed = EVENT_SCHEMA[kind]
+        value = rng.randrange(-300, 300) if signed else rng.randrange(0, 16)
+        extra = rng.randrange(0, 40) if nfields == 2 else 0
+        stream.append((kind, cycle, value, extra))
+    return stream
+
+
+def bench_codec(events: int, assert_throughput: bool):
+    """Write / decode / query throughput on a synthetic mixed stream."""
+    stream = synthetic_stream(events)
+
+    writer = TraceWriter()
+    emit = writer.emit
+    start = time.perf_counter()
+    for kind, cycle, value, extra in stream:
+        emit(kind, cycle, value, extra)
+    summary = writer.close()
+    write_s = time.perf_counter() - start
+    data = writer.getvalue()
+
+    start = time.perf_counter()
+    decoded = read_trace(data)
+    decode_s = time.perf_counter() - start
+    assert len(decoded) == events
+    assert [(r.kind, r.cycle, r.value, r.extra) for r in decoded] == stream, (
+        "decode did not reproduce the emitted stream"
+    )
+
+    start = time.perf_counter()
+    conflicts = sum(1 for _ in TraceReader(data).events(kinds=(EventKind.DECIDE,)))
+    query_s = time.perf_counter() - start
+    assert conflicts == sum(1 for k, _, _, _ in stream if k is EventKind.DECIDE)
+
+    footer = TraceReader(data).summary()
+    assert footer.events == events
+
+    rows = [
+        ["emit (write)", f"{events / write_s / 1e3:.0f}k ev/s", f"{write_s * 1e3:.1f} ms"],
+        ["full decode", f"{events / decode_s / 1e3:.0f}k ev/s", f"{decode_s * 1e3:.1f} ms"],
+        ["kind-filtered query", f"{events / query_s / 1e3:.0f}k ev/s", f"{query_s * 1e3:.1f} ms"],
+    ]
+    print_table(
+        f"Codec throughput ({events} events, {summary.bytes_per_event:.2f} B/event)",
+        ["path", "throughput", "wall"],
+        rows,
+    )
+    assert summary.bytes_per_event <= 6.0, (
+        f"synthetic mixed stream at {summary.bytes_per_event:.2f} B/event "
+        "blows the 6 B/event budget"
+    )
+    if assert_throughput:
+        assert events / write_s > 100_000, f"write throughput {events / write_s:.0f} ev/s"
+
+
+def bench_execution(kernels, assert_throughput: bool):
+    """Traced vs untraced end-to-end runs: identity, density, overhead."""
+    rows = []
+    total_off = 0.0
+    total_on = 0.0
+    for name, kernel, options in kernels:
+        start = time.perf_counter()
+        plain = ReasonSession(cache=False).run(kernel, **options)
+        off_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        traced = ReasonSession(cache=False).run(kernel, trace=True, **options)
+        on_s = time.perf_counter() - start
+        total_off += off_s
+        total_on += on_s
+
+        # Gate 1: tracing is observation-only — the report is identical.
+        for field in ("result", "cycles", "energy_j", "power_w", "utilization", "extras"):
+            plain_value = getattr(plain, field)
+            traced_value = getattr(traced, field)
+            if field == "extras":
+                traced_value = {
+                    k: v
+                    for k, v in traced_value.items()
+                    if k not in ("trace", "trace_data")
+                }
+            assert plain_value == traced_value, (
+                f"{name}: traced run changed report field {field!r}"
+            )
+
+        # Gate 2: the captured stream decodes, stays dense, and its
+        # summed events reproduce the report counters exactly.
+        data = traced.extras["trace_data"]
+        summary = TraceReader(data).validate()
+        assert summary.bytes_per_event <= 6.0, (
+            f"{name}: {summary.bytes_per_event:.2f} B/event over budget"
+        )
+        cross_validate(data, traced).raise_on_mismatch()
+
+        rows.append(
+            [
+                name,
+                str(summary.events),
+                f"{summary.bytes_per_event:.2f}",
+                f"{off_s * 1e3:.1f} ms",
+                f"{on_s * 1e3:.1f} ms",
+                f"{on_s / off_s:.2f}x",
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            "",
+            f"{total_off * 1e3:.1f} ms",
+            f"{total_on * 1e3:.1f} ms",
+            f"{total_on / total_off:.2f}x",
+        ]
+    )
+    print_table(
+        "Traced vs untraced execution (reports bit-identical, "
+        "trace cross-validated on every kernel)",
+        ["kernel", "events", "B/event", "off", "on", "overhead"],
+        rows,
+    )
+    if assert_throughput:
+        assert total_on / total_off < 3.0, (
+            f"tracing overhead {total_on / total_off:.2f}x is out of hand"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke: keep every correctness gate, skip timing assertions",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="synthetic stream length for the codec benchmark",
+    )
+    args = parser.parse_args()
+
+    events = args.events or (5_000 if args.tiny else 200_000)
+    bench_codec(events, assert_throughput=not args.tiny)
+    bench_execution(build_kernels(tiny=args.tiny), assert_throughput=not args.tiny)
+    print("\nAll trace gates passed (density <= 6 B/event, decode identity, "
+          "report identity, exact cross-validation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,11 @@ Package map:
 * :mod:`repro.costmodel` — predicted per-request latency/energy per
   backend class from compile artifacts, calibrated online from
   execution reports; drives the time-aware scheduling policies and
-  heterogeneous (reason/gpu/cpu) shard placement.
+  heterogeneous (reason/gpu/cpu) shard placement;
+* :mod:`repro.trace` — opt-in binary event traces of the accelerator's
+  modeled execution (versioned varint/delta wire format, streaming
+  reader, offline analysis tools and the ``python -m repro.trace``
+  CLI).
 
 Quickstart::
 
@@ -40,7 +44,7 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     ArtifactStore,
@@ -67,6 +71,11 @@ from repro.costmodel import (  # noqa: E402  (public re-exports)
     CostFeatures,
     CostPrediction,
 )
+from repro.trace import (  # noqa: E402  (public re-exports)
+    TraceReader,
+    TraceWriter,
+    read_trace,
+)
 
 __all__ = [
     "__version__",
@@ -86,6 +95,9 @@ __all__ = [
     "Calibrator",
     "CostFeatures",
     "CostPrediction",
+    "TraceReader",
+    "TraceWriter",
+    "read_trace",
     "list_backends",
     "list_policies",
     "register_adapter",

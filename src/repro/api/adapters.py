@@ -46,6 +46,15 @@ class RunOptions:
     HMMs); ``hmm_observations`` fixes the unroll sequence when no
     calibration is given; ``record_events`` asks the REASON backend for
     the Fig. 9-style cycle timeline in ``report.extras['events']``.
+
+    ``trace`` opts into the binary event trace (:mod:`repro.trace`):
+    ``True`` captures in memory (bytes land in
+    ``report.extras['trace_data']``), a path string captures to that
+    file, and an existing :class:`~repro.trace.writer.TraceWriter` is
+    borrowed (the caller closes it).  Tracing is an observation knob,
+    not a compilation knob — it deliberately stays out of
+    :meth:`KernelAdapter.fingerprint`, so traced and untraced runs of
+    the same kernel share one cache entry.
     """
 
     optimize: bool = True
@@ -53,6 +62,7 @@ class RunOptions:
     calibration: Optional[Sequence] = None
     hmm_observations: Optional[Sequence[int]] = None
     record_events: bool = False
+    trace: object = None
 
     def calibration_key(self) -> object:
         if self.calibration is None:

@@ -46,6 +46,41 @@ class Backend(abc.ABC):
         """Execute the artifact ``queries`` times; report result + cost."""
 
 
+def _trace_writer_for(spec):
+    """Resolve ``RunOptions.trace`` into ``(writer, owned)``.
+
+    ``None``/``False`` -> no tracing; ``True`` -> an in-memory writer
+    the backend closes and summarizes; a path -> a file writer the
+    backend closes; an existing :class:`TraceWriter` -> borrowed, the
+    caller keeps ownership (lets one writer span several runs)."""
+    if spec is None or spec is False:
+        return None, False
+    from repro.trace.writer import TraceWriter
+
+    if isinstance(spec, TraceWriter):
+        return spec, False
+    if spec is True:
+        return TraceWriter(), True
+    return TraceWriter(spec), True
+
+
+def _finish_trace(report, writer, owned) -> None:
+    """Close an owned writer and publish its summary in the report."""
+    if writer is None or not owned:
+        return
+    summary = writer.close()
+    info = {
+        "events": summary.events,
+        "bytes": summary.bytes,
+        "bytes_per_event": summary.bytes_per_event,
+    }
+    if summary.path is not None:
+        info["path"] = summary.path
+    else:
+        report.extras["trace_data"] = writer.getvalue()
+    report.extras["trace"] = info
+
+
 class ReasonBackend(Backend):
     """The REASON accelerator model: functional execution with cycle,
     energy and utilization accounting (a fresh chip instance per run so
@@ -56,6 +91,9 @@ class ReasonBackend(Backend):
     def run(self, artifact, config=DEFAULT_CONFIG, queries=1, options=None):
         options = options or RunOptions()
         accelerator = ReasonAccelerator(config)
+        writer, owned = _trace_writer_for(options.trace)
+        if writer is not None:
+            accelerator.attach_trace(writer)
         if artifact.solver is not None:  # logic kernel: replay cached trace
             trace, _ = accelerator.run_symbolic_trace(
                 artifact.model, artifact.solver, record_events=options.record_events
@@ -81,6 +119,7 @@ class ReasonBackend(Backend):
             )
             if options.record_events:
                 report.extras["events"] = trace.events
+            _finish_trace(report, writer, owned)
             return report
 
         hw = accelerator.run_program(
@@ -89,7 +128,7 @@ class ReasonBackend(Backend):
             mode=PEMode.PROBABILISTIC,
         )
         cycles = max(hw.cycles, 1) * queries
-        return ExecutionReport(
+        report = ExecutionReport(
             backend=self.name,
             kernel=artifact.kind,
             result=hw.result,
@@ -101,6 +140,8 @@ class ReasonBackend(Backend):
             queries=queries,
             extras={"instructions": hw.instructions, "stalls": hw.stalls},
         )
+        _finish_trace(report, writer, owned)
+        return report
 
 
 class SoftwareBackend(Backend):

@@ -360,6 +360,15 @@ class ReasonService:
         costs at admission (a private one by default; pass a shared or
         pre-warmed estimator to start routing on real numbers from the
         first request).
+    trace_dir:
+        Optional directory for per-request binary event traces
+        (:mod:`repro.trace`).  A request submitted with ``trace=True``
+        captures its event stream to
+        ``trace_dir/<fingerprint>.trace`` — the same content
+        fingerprint the compile cache and artifact store address by,
+        so a request's trace sits next to its compiled artifact
+        (:meth:`trace_path_for` resolves it).  Requests that pass an
+        explicit path or writer keep it unchanged.
     """
 
     def __init__(
@@ -373,6 +382,7 @@ class ReasonService:
         stats_window: Optional[int] = 65536,
         cost_model: Optional[CostEstimator] = None,
         store: Union[None, str, ArtifactStore] = None,
+        trace_dir: Union[None, str, "os.PathLike"] = None,
     ):
         if isinstance(shards, int):
             backends = ["reason"] * shards
@@ -399,6 +409,12 @@ class ReasonService:
         # One store instance resolved here and handed to every shard:
         # the shard-local LRUs stay private, the shared level is common.
         self.store = make_store(store)
+        self.trace_dir = None
+        if trace_dir is not None:
+            from pathlib import Path
+
+            self.trace_dir = Path(trace_dir)
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         self._shards = [
             _Shard(
                 index,
@@ -448,6 +464,16 @@ class ReasonService:
     def session_of(self, shard_index: int) -> ReasonSession:
         """The session owned by one shard (introspection/tests)."""
         return self._shards[shard_index].session
+
+    def trace_path_for(self, fingerprint: str) -> "os.PathLike":
+        """Where a ``trace=True`` request with this content fingerprint
+        writes (or wrote) its trace under ``trace_dir`` — addressable
+        exactly like the artifact store's content keys."""
+        if self.trace_dir is None:
+            raise ValueError("service was built without trace_dir=")
+        from repro.trace.analyze import trace_artifact_path
+
+        return trace_artifact_path(self.trace_dir, fingerprint)
 
     def _observe(self, shard: _Shard, item: _WorkItem, report: ExecutionReport) -> None:
         """Worker callback after every successful execution: feed the
@@ -555,6 +581,13 @@ class ReasonService:
             raise ValueError("queries must be >= 1")
         adapter = adapter_for(kernel)
         fingerprint = adapter.fingerprint(kernel, options, self.config)
+        # trace=True on a service with a trace_dir resolves to a
+        # content-addressed file next to the artifact store's keys
+        # (tracing never enters the fingerprint, so this stays a cache
+        # hit for the untraced twin).  Explicit paths/writers pass
+        # through untouched.
+        if options.trace is True and self.trace_dir is not None:
+            options = replace(options, trace=str(self.trace_path_for(fingerprint)))
         # A store-resident artifact makes the kernel warm *service-wide*:
         # whichever shard the policy picks fetches it instead of paying
         # the front end, so no placement should be charged a cold

@@ -190,7 +190,11 @@ class ReasonSession:
         raw unified Dag — anything with a registered adapter.  Keyword
         options (``optimize``, ``calibration``, ``keep_fraction``,
         ``hmm_observations``, ``record_events``) feed the front end;
-        see :class:`repro.api.adapters.RunOptions`.
+        see :class:`repro.api.adapters.RunOptions`.  ``trace=`` opts
+        into the binary event trace (:mod:`repro.trace`): pass a path
+        to capture the run's event stream to that file (summary in
+        ``report.extras['trace']``) or ``True`` to capture in memory
+        (``report.extras['trace_data']``).
         """
         return self.run_prepared(
             kernel, RunOptions(**option_kwargs), backend=backend, queries=queries

@@ -44,6 +44,21 @@ from repro.api.types import CompiledArtifact
 _SAFE_KEY = re.compile(r"[A-Za-z0-9._-]{1,128}\Z")
 
 
+def safe_store_key(key: str) -> str:
+    """A filesystem-safe alias for one content key.
+
+    Hexdigest keys pass through unchanged; anything else maps to its
+    own sha256, deterministically.  :class:`DiskStore` names artifact
+    files with this, and the trace subsystem names trace files the
+    same way (:func:`repro.trace.analyze.trace_artifact_path`), so a
+    request's trace sits next to its compiled artifact under one
+    addressing scheme.
+    """
+    if _SAFE_KEY.match(key):
+        return key
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
 class _OnceGuard:
     """Per-key in-flight guard: run a factory at most once per key.
 
@@ -211,9 +226,7 @@ class DiskStore(ArtifactStore):
         self.path.mkdir(parents=True, exist_ok=True)
 
     def _file_for(self, key: str) -> Path:
-        if not _SAFE_KEY.match(key):
-            key = hashlib.sha256(key.encode("utf-8")).hexdigest()
-        return self.path / f"{key}{self._SUFFIX}"
+        return self.path / f"{safe_store_key(key)}{self._SUFFIX}"
 
     def get(self, key: str) -> Optional[CompiledArtifact]:
         try:

@@ -29,6 +29,7 @@ from repro.core.arch.watched_literals import WatchedLiteralsUnit
 from repro.core.compiler.program import InstructionKind, Program
 from repro.logic.cdcl import CDCLSolver
 from repro.logic.cnf import CNF
+from repro.trace.format import PHASE_PROGRAM, PHASE_SYMBOLIC, EventKind
 
 
 @dataclass
@@ -85,6 +86,20 @@ class ReasonAccelerator:
         self.pes = [TreePE(config, self.energy) for _ in range(config.num_pes)]
         self.wl_unit = WatchedLiteralsUnit(config, self.sram)
         self.fifo = BcpFifo(config.bcp_fifo_depth)
+        # Opt-in binary event trace (repro.trace).  None (the default)
+        # keeps the execution loops on their untraced hot paths — the
+        # only cost of the feature when off is one local None check per
+        # event branch.  Attach via :meth:`attach_trace`.
+        self.trace = None
+
+    def attach_trace(self, writer) -> None:
+        """Stream every modeled event into a
+        :class:`~repro.trace.writer.TraceWriter` (replay events, VLIW
+        instruction issues, PE block evaluations).  The caller owns the
+        writer's lifecycle — the accelerator only emits."""
+        self.trace = writer
+        for pe in self.pes:
+            pe.trace = writer
 
     # -------------------------------------------------------- DAG programs
 
@@ -126,10 +141,27 @@ class ReasonAccelerator:
         kind_reload = InstructionKind.RELOAD
         kind_nop = InstructionKind.NOP
 
+        # Tracing is opt-in: `emit` is None on the untraced hot path, so
+        # the only added cost when off is one local None check per
+        # instruction branch.
+        tw = self.trace
+        emit = None if tw is None else tw.emit
+        if emit is not None:
+            ev_compute = EventKind.COMPUTE
+            ev_load = EventKind.LOAD
+            ev_reload = EventKind.RELOAD
+            ev_store = EventKind.STORE
+            ev_spill = EventKind.SPILL
+            ev_nop = EventKind.NOP
+            kind_store = InstructionKind.STORE
+            emit(EventKind.PHASE, 0, PHASE_PROGRAM)
+
         for instruction in program.instructions:
             kind = instruction.kind
             if kind is kind_compute:
                 pe = pes[instruction.pe % num_pes]
+                if emit is not None:
+                    emit(ev_compute, instruction.issue_cycle, instruction.pe % num_pes)
                 leaf_values = {}
                 for position, value_id in instruction.leaf_operands.items():
                     if value_id not in values:
@@ -148,11 +180,27 @@ class ReasonAccelerator:
                     max_finish = finish
             elif kind is kind_load or kind is kind_reload:
                 memory_ops += 1
+                if emit is not None:
+                    # The scheduler fills issue_cycle only for COMPUTE
+                    # and NOP; memory ops ride the clock's last value
+                    # (cycle=None -> zero delta, one code byte).
+                    bank = instruction.write[0] if instruction.write else 0
+                    emit(ev_load if kind is kind_load else ev_reload, None, bank)
             elif kind is kind_nop:
                 stalls += 1
+                if emit is not None:
+                    issue = instruction.issue_cycle
+                    emit(ev_nop, issue if issue >= 0 else None)
             else:  # STORE / SPILL
                 memory_ops += 1
-                stalls += 1
+                if emit is not None:
+                    if instruction.write:
+                        bank = instruction.write[0]
+                    elif instruction.reads:
+                        bank = instruction.reads[0][0]
+                    else:
+                        bank = 0
+                    emit(ev_store if kind is kind_store else ev_spill, None, bank)
 
         energy = self.energy
         energy.register_access += register_events + memory_ops
@@ -161,6 +209,8 @@ class ReasonAccelerator:
         energy.sram_access += memory_ops
 
         cycles = max(max_finish, len(program.instructions)) + switch_penalty
+        if emit is not None:
+            emit(EventKind.RUN_END, cycles)
         root = values.get(program.root_value) if program.root_value is not None else None
         utilization = (
             sum(pe.stats.active_node_ops for pe in self.pes)
@@ -257,6 +307,27 @@ class ReasonAccelerator:
         # imply and decide branches; keep the two blocks identical.
         lit_state: Dict[int, List[int]] = {}
 
+        # Opt-in binary event trace.  When detached (`emit is None`, the
+        # default) each branch pays exactly one local None check; the
+        # traced path records absolute replay cycles so offline tools
+        # can reconstruct the Fig. 9 timeline without max_events limits.
+        tw = self.trace
+        emit = None if tw is None else tw.emit
+        if emit is not None:
+            ev_decide = EventKind.DECIDE
+            ev_propagate = EventKind.PROPAGATE
+            ev_conflict = EventKind.CONFLICT
+            ev_learn = EventKind.LEARN
+            ev_backjump = EventKind.BACKJUMP
+            ev_restart = EventKind.RESTART
+            ev_watch = EventKind.WATCH_UPDATE
+            ev_dma = EventKind.DMA_FETCH
+            ev_bank = EventKind.BANK_READ
+            # Per-literal bank-read summaries, cached on the traced path
+            # only (the untraced path reconstructs them once at flush).
+            lit_banks: Dict[int, tuple] = {}
+            emit(EventKind.PHASE, 0, PHASE_SYMBOLIC)
+
         pending_dma = None
         for event in solver.trace:
             kind = event.kind
@@ -301,11 +372,21 @@ class ReasonAccelerator:
                     pending_dma = self.dma.issue(cycle, words=num_clauses * 4 + 4)
                     hidden = min(len(queue), dram_latency)
                     cycle += max(1, access - hidden)
+                    if emit is not None:
+                        emit(ev_dma, cycle, num_clauses * 4 + 4)
                     if record_events:
                         log("dma", "watch-list miss, DMA fetch in flight")
                 else:
                     cycle += access if pipelined else access * 2
                 logic_ops += max(num_clauses, 1)
+                if emit is not None:
+                    emit(ev_propagate, cycle, popped[0])
+                    emit(ev_watch, cycle, literal, num_clauses)
+                    banks = lit_banks.get(literal)
+                    if banks is None:
+                        banks = lit_banks[literal] = summary_for(literal).bank_reads
+                    for bank, count in banks:
+                        emit(ev_bank, cycle, bank, count)
             elif kind == "decide":
                 decisions += 1
                 cycle += tree_hops  # broadcast decision to leaves
@@ -324,6 +405,14 @@ class ReasonAccelerator:
                 num_clauses = state[0]
                 cycle += state[1] if pipelined else state[1] * 2
                 logic_ops += num_clauses
+                if emit is not None:
+                    emit(ev_decide, cycle, event.literal)
+                    emit(ev_watch, cycle, literal, num_clauses)
+                    banks = lit_banks.get(literal)
+                    if banks is None:
+                        banks = lit_banks[literal] = summary_for(literal).bank_reads
+                    for bank, count in banks:
+                        emit(ev_bank, cycle, bank, count)
                 if record_events:
                     log("wl", f"{num_clauses} watched clauses inspected")
             elif kind == "conflict":
@@ -339,16 +428,29 @@ class ReasonAccelerator:
                     pending_dma = None
                 cycle += 1  # priority control assertion
                 control_events += 2
+                if emit is not None:
+                    emit(ev_conflict, cycle, dropped)
                 if record_events:
                     log("control", f"conflict: flushed {dropped} pending implications")
             elif kind == "backjump":
                 cycle += 2  # trail unwinding bookkeeping on the scalar PE
+                if emit is not None:
+                    emit(ev_backjump, cycle, event.level)
                 if record_events:
                     log("control", f"backjump to level {event.level}")
             elif kind == "restart":
                 cycle += config.pipeline_stages
+                if emit is not None:
+                    emit(ev_restart, cycle)
                 if record_events:
                     log("control", "restart")
+            elif kind == "learn":
+                # Annotation-only: a learned clause costs no modeled
+                # cycles or energy here (the conflict that produced it
+                # already paid), so replay accounting is unchanged
+                # whether or not the solver trace carries learn events.
+                if emit is not None:
+                    emit(ev_learn, cycle, event.clause_size)
 
         trace.decisions = decisions
         trace.implications = implications
@@ -399,6 +501,8 @@ class ReasonAccelerator:
         )
 
         trace.cycles = cycle
+        if emit is not None:
+            emit(EventKind.RUN_END, cycle)
         return trace, solver
 
     def run_symbolic_parallel(

@@ -105,14 +105,27 @@ class EnergyModel:
 
     def record(self, event: str, count: int = 1) -> None:
         if event not in _EVENT_SET:
-            raise KeyError(f"unknown energy event: {event}")
+            raise KeyError(
+                f"unknown energy event: {event!r} "
+                f"(valid events: {', '.join(EVENT_NAMES)})"
+            )
         setattr(self, event, getattr(self, event) + count)
 
     def record_many(self, items: Iterable[Tuple[str, int]]) -> None:
-        """Batch-accumulate ``(event, count)`` pairs in one call."""
-        for event, count in items:
+        """Batch-accumulate ``(event, count)`` pairs in one call.
+
+        Atomic with respect to validation: every name is checked before
+        any counter moves, so a typo mid-batch leaves the model
+        untouched instead of half-applied.
+        """
+        items = list(items)
+        for event, _ in items:
             if event not in _EVENT_SET:
-                raise KeyError(f"unknown energy event: {event}")
+                raise KeyError(
+                    f"unknown energy event: {event!r} "
+                    f"(valid events: {', '.join(EVENT_NAMES)})"
+                )
+        for event, count in items:
             setattr(self, event, getattr(self, event) + count)
 
     def merge(self, other: "EnergyModel") -> None:

@@ -19,6 +19,7 @@ from repro.core.arch.config import ArchConfig
 from repro.core.arch.energy import EnergyModel
 from repro.core.compiler.program import TreeNodeConfig
 from repro.core.dag.graph import OpType
+from repro.trace.format import EventKind
 
 
 class PEMode(enum.Enum):
@@ -47,6 +48,10 @@ class TreePE:
         self.energy = energy
         self.stats = PEStats()
         self._mode: Optional[PEMode] = None
+        # Opt-in binary event trace (repro.trace); set through
+        # ReasonAccelerator.attach_trace.  None keeps execute_config on
+        # its untraced path at the cost of one None check per block.
+        self.trace = None
 
     def set_mode(self, mode: PEMode) -> None:
         """Reconfigure the datapath (free when already in the mode).
@@ -123,6 +128,8 @@ class TreePE:
         if self.energy:
             self.energy.logic_op += logic_ops
             self.energy.alu_op += alu_ops
+        if self.trace is not None:
+            self.trace.emit(EventKind.PE_BLOCK, None, logic_ops + alu_ops, forward_ops)
         if 0 not in values:
             raise ValueError("block did not produce a root value")
         return values[0]

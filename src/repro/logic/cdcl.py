@@ -47,7 +47,7 @@ class CDCLStats:
 class TraceEvent:
     """One BCP-visible event, replayed by the accelerator simulator."""
 
-    kind: str  # "decide" | "imply" | "conflict" | "restart" | "backjump"
+    kind: str  # "decide" | "imply" | "conflict" | "learn" | "restart" | "backjump"
     literal: int = 0
     level: int = 0
     clause_size: int = 0
@@ -149,6 +149,7 @@ class CDCLSolver:
                 backjump_level = max(backjump_level, num_assumptions)
                 self._backjump(backjump_level)
                 self._learn(learned)
+                self._emit("learn", clause_size=len(learned))
                 self._decay_activities()
             else:
                 if conflicts_since_restart >= conflicts_until_restart:

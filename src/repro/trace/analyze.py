@@ -1,0 +1,269 @@
+"""Offline trace analysis: the questions a counter dump cannot answer.
+
+Every function takes a :class:`~repro.trace.reader.TraceReader` (or
+anything accepted by its constructor) and streams — no tool here
+materializes the event list, so they run unchanged on traces with
+billions of events.
+
+* :func:`phase_breakdown` — where the cycles went, attributed to the
+  event kind that advanced the modeled clock (the per-phase cycle
+  breakdown the replay's aggregate counters destroy);
+* :func:`bank_heatmap` — per-SRAM-bank words read and per-bank memory
+  instruction counts (cache/bank pressure at a glance);
+* :func:`cycle_histogram` — when events of a kind happen across the
+  run (conflict clustering, learn bursts, spill storms);
+* :func:`cross_validate` — the integrity bridge back to the execution
+  layer: summed trace events must reproduce an
+  :class:`~repro.api.types.ExecutionReport`'s counters *exactly*.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.trace.format import (
+    INSTRUCTION_KINDS,
+    PHASE_NAMES,
+    STALL_KINDS,
+    EventKind,
+)
+from repro.trace.reader import TraceReader
+
+
+def _reader(source) -> TraceReader:
+    return source if isinstance(source, TraceReader) else TraceReader(source)
+
+
+# ------------------------------------------------------------ breakdowns
+
+
+@dataclass
+class PhaseBreakdown:
+    """Cycle attribution over one trace.
+
+    ``by_kind`` maps event-kind name -> cycles that elapsed while that
+    kind of event advanced the clock; ``by_phase`` splits the same
+    cycles by the surrounding PHASE marker (symbolic-replay vs
+    program).  Attribution is exact: deltas sum to ``total_cycles``.
+    """
+
+    total_cycles: int = 0
+    events: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_phase: Dict[str, int] = field(default_factory=dict)
+
+    def fraction(self, kind: str) -> float:
+        return self.by_kind.get(kind, 0) / self.total_cycles if self.total_cycles else 0.0
+
+
+def phase_breakdown(source) -> PhaseBreakdown:
+    """Attribute every elapsed cycle to the event that spent it.
+
+    A record at cycle ``c`` following a record at cycle ``p < c``
+    spent ``c - p`` cycles; those cycles belong to its kind (a
+    PROPAGATE that waited out a watch-list walk owns that walk's
+    latency).  RUN_END's delta is the run's trailing bookkeeping.
+    """
+    breakdown = PhaseBreakdown()
+    last_cycle = 0
+    phase = "untagged"
+    by_kind = breakdown.by_kind
+    by_phase = breakdown.by_phase
+    for record in _reader(source):
+        breakdown.events += 1
+        if record.kind is EventKind.PHASE:
+            phase = PHASE_NAMES.get(record.value, f"phase-{record.value}")
+            last_cycle = record.cycle
+            continue
+        delta = record.cycle - last_cycle
+        last_cycle = record.cycle
+        if delta > 0:
+            name = record.kind.name
+            by_kind[name] = by_kind.get(name, 0) + delta
+            by_phase[phase] = by_phase.get(phase, 0) + delta
+            breakdown.total_cycles += delta
+    return breakdown
+
+
+@dataclass
+class BankHeatmap:
+    """Per-unit traffic: SRAM words per bank, memory ops per bank,
+    compute issues per PE."""
+
+    words_by_bank: Dict[int, int] = field(default_factory=dict)
+    ops_by_bank: Dict[int, int] = field(default_factory=dict)
+    compute_by_pe: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hottest_bank(self) -> Optional[int]:
+        return max(self.words_by_bank, key=self.words_by_bank.get) if self.words_by_bank else None
+
+    def imbalance(self) -> float:
+        """Max/mean words ratio across banks (1.0 = perfectly even)."""
+        if not self.words_by_bank:
+            return 1.0
+        values = list(self.words_by_bank.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean else 1.0
+
+
+_MEMORY_OP_KINDS = frozenset(
+    {EventKind.LOAD, EventKind.STORE, EventKind.SPILL, EventKind.RELOAD}
+)
+
+
+def bank_heatmap(source) -> BankHeatmap:
+    """Aggregate bank/PE traffic from BANK_READ, memory-op and COMPUTE
+    events (the raw material of a cache/bank heatmap plot)."""
+    heat = BankHeatmap()
+    words = heat.words_by_bank
+    ops = heat.ops_by_bank
+    compute = heat.compute_by_pe
+    for record in _reader(source):
+        kind = record.kind
+        if kind is EventKind.BANK_READ:
+            words[record.value] = words.get(record.value, 0) + record.extra
+        elif kind in _MEMORY_OP_KINDS:
+            ops[record.value] = ops.get(record.value, 0) + 1
+        elif kind is EventKind.COMPUTE:
+            compute[record.value] = compute.get(record.value, 0) + 1
+    return heat
+
+
+@dataclass
+class CycleHistogram:
+    """Event occurrences bucketed over the run's cycle axis."""
+
+    kind: str
+    bucket_cycles: int
+    counts: List[int]
+    total: int
+    last_cycle: int
+
+    def peak_bucket(self) -> Tuple[int, int]:
+        """(bucket index, count) of the densest bucket."""
+        if not self.counts:
+            return (0, 0)
+        index = max(range(len(self.counts)), key=self.counts.__getitem__)
+        return index, self.counts[index]
+
+
+def cycle_histogram(
+    source,
+    kind: Union[EventKind, str] = EventKind.CONFLICT,
+    buckets: int = 20,
+) -> CycleHistogram:
+    """Histogram of when ``kind`` events land across the trace's cycle
+    range — conflict/learn clustering made visible.  Uses the footer
+    for the cycle range, so the stream is read exactly once."""
+    reader = _reader(source)
+    wanted = EventKind[kind] if isinstance(kind, str) else EventKind(kind)
+    last_cycle = max(reader.summary().last_cycle, 1)
+    buckets = max(int(buckets), 1)
+    bucket_cycles = max((last_cycle + buckets - 1) // buckets, 1)
+    counts = [0] * buckets
+    total = 0
+    for record in reader.events(kinds=(wanted,)):
+        index = min(record.cycle // bucket_cycles, buckets - 1)
+        counts[index] += 1
+        total += 1
+    return CycleHistogram(
+        kind=wanted.name,
+        bucket_cycles=bucket_cycles,
+        counts=counts,
+        total=total,
+        last_cycle=last_cycle,
+    )
+
+
+# ------------------------------------------------------- cross-validation
+
+
+@dataclass
+class CheckResult:
+    name: str
+    trace_value: int
+    report_value: int
+
+    @property
+    def ok(self) -> bool:
+        return self.trace_value == self.report_value
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of :func:`cross_validate`: every counter the trace can
+    reconstruct, next to the report's value."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def mismatches(self) -> List[CheckResult]:
+        return [check for check in self.checks if not check.ok]
+
+    def raise_on_mismatch(self) -> "ValidationResult":
+        if not self.ok:
+            detail = ", ".join(
+                f"{c.name}: trace={c.trace_value} report={c.report_value}"
+                for c in self.mismatches
+            )
+            raise AssertionError(f"trace does not reproduce the report: {detail}")
+        return self
+
+
+def cross_validate(source, report) -> ValidationResult:
+    """Check that summed trace events reproduce ``report``'s counters.
+
+    ``report`` is an :class:`~repro.api.types.ExecutionReport` (duck-
+    typed: ``cycles``, ``queries`` and ``extras`` are read).  For
+    symbolic (CDCL replay) traces the decision/implication/conflict
+    totals and the cycle count must match exactly; for program traces
+    the instruction and stall totals and the cycle count must.  The
+    trace records one replay; the report scales by ``queries``, so
+    cycles compare as ``max(trace_cycles, 1) * queries``.
+    """
+    counts: Dict[EventKind, int] = {}
+    run_end_cycle = 0
+    for record in _reader(source):
+        counts[record.kind] = counts.get(record.kind, 0) + 1
+        if record.kind is EventKind.RUN_END:
+            run_end_cycle = record.cycle
+    result = ValidationResult()
+    extras = getattr(report, "extras", {}) or {}
+    queries = max(getattr(report, "queries", 1), 1)
+
+    def check(name: str, trace_value: int, report_value) -> None:
+        if report_value is not None:
+            result.checks.append(CheckResult(name, trace_value, int(report_value)))
+
+    check("decisions", counts.get(EventKind.DECIDE, 0), extras.get("decisions"))
+    check("implications", counts.get(EventKind.PROPAGATE, 0), extras.get("implications"))
+    check("conflicts", counts.get(EventKind.CONFLICT, 0), extras.get("conflicts"))
+    instructions = sum(counts.get(kind, 0) for kind in INSTRUCTION_KINDS)
+    stalls = sum(counts.get(kind, 0) for kind in STALL_KINDS)
+    check("instructions", instructions, extras.get("instructions"))
+    check("stalls", stalls, extras.get("stalls"))
+    cycles = getattr(report, "cycles", None)
+    if cycles is not None:
+        check("cycles", max(run_end_cycle, 1) * queries, cycles)
+    return result
+
+
+def trace_artifact_path(
+    directory: Union[str, os.PathLike], fingerprint: str
+) -> "os.PathLike":
+    """The canonical on-disk location for one request's trace artifact,
+    addressed by the same content fingerprint the compile cache and
+    :class:`~repro.api.store.ArtifactStore` use — a trace sits next to
+    the artifact it was captured from."""
+    from pathlib import Path
+
+    from repro.api.store import safe_store_key
+
+    return Path(directory) / f"{safe_store_key(fingerprint)}.trace"

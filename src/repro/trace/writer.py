@@ -1,0 +1,240 @@
+"""`TraceWriter`: streaming binary encoder for execution event traces.
+
+The writer is the single producer-side entry point: the accelerator's
+replay/program loops call :meth:`TraceWriter.emit` per event, and the
+writer varint/delta-encodes records into an internal buffer that
+flushes to the sink in large chunks (so tracing costs appends, not
+syscalls, in the hot loop).  ``close()`` seals the stream with the
+counting footer readers validate against.
+
+Sinks: ``None`` buffers the whole stream in memory (``getvalue()``),
+a ``str``/``Path`` writes the file, and any object with ``write()``
+is used as-is (only owned files are closed on ``close()``).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.trace.format import (
+    DELTA_ESCAPE,
+    EVENT_SCHEMA,
+    MAX_INLINE_DELTA,
+    PHASE_SOLVER,
+    EventKind,
+    encode_footer,
+    encode_header,
+    zigzag_encode,
+)
+
+#: Flush the internal buffer to the sink once it crosses this size.
+_FLUSH_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """What a sealed trace contains, as the writer counted it."""
+
+    events: int
+    bytes: int
+    last_cycle: int
+    counts: Dict[str, int]  # EventKind name -> count (non-zero only)
+    path: Optional[str] = None
+
+    @property
+    def bytes_per_event(self) -> float:
+        return self.bytes / self.events if self.events else 0.0
+
+
+class TraceWriter:
+    """Encode an event stream; one instance per trace file.
+
+    The emit path is deliberately branch-light: one code-byte append
+    for the common small-delta case, inline LEB128 loops for payload
+    operands, and a size check that flushes at most once per ~64 KiB.
+    """
+
+    def __init__(self, sink: Union[None, str, os.PathLike, io.IOBase] = None):
+        if sink is None or isinstance(sink, (str, os.PathLike)):
+            self.path: Optional[str] = None if sink is None else str(sink)
+            if sink is None:
+                self._sink = None
+            else:
+                Path(sink).parent.mkdir(parents=True, exist_ok=True)
+                self._sink = open(sink, "wb")
+            self._owns_sink = sink is not None
+        else:
+            self.path = getattr(sink, "name", None)
+            self._sink = sink
+            self._owns_sink = False
+        self._buf = bytearray(encode_header())
+        self._flushed = 0
+        self._last_cycle = 0
+        self._counts = [0] * 32
+        self._events = 0
+        self._closed = False
+        self._summary: Optional[TraceSummary] = None
+
+    # ------------------------------------------------------------ emission
+
+    def emit(
+        self,
+        kind: int,
+        cycle: Optional[int] = None,
+        value: int = 0,
+        extra: int = 0,
+    ) -> None:
+        """Append one event.
+
+        ``cycle=None`` stamps the event at the previous event's cycle
+        (a free 0 delta) — the convention for events that annotate the
+        current timestamp rather than advance the clock.
+        """
+        buf = self._buf
+        if cycle is None:
+            delta = 0
+        else:
+            delta = cycle - self._last_cycle
+            self._last_cycle = cycle
+        if 0 <= delta <= MAX_INLINE_DELTA:
+            buf.append(kind | (delta << 5))
+        else:
+            buf.append(kind | (DELTA_ESCAPE << 5))
+            encoded = zigzag_encode(delta)
+            while encoded > 0x7F:
+                buf.append((encoded & 0x7F) | 0x80)
+                encoded >>= 7
+            buf.append(encoded)
+        nfields, signed = EVENT_SCHEMA[kind]
+        if nfields:
+            operand = zigzag_encode(value) if signed else value
+            if operand < 0:
+                raise ValueError(
+                    f"{EventKind(kind).name} value operand must be >= 0, got {value}"
+                )
+            while operand > 0x7F:
+                buf.append((operand & 0x7F) | 0x80)
+                operand >>= 7
+            buf.append(operand)
+            if nfields == 2:
+                operand = extra
+                if operand < 0:
+                    raise ValueError(
+                        f"{EventKind(kind).name} extra operand must be >= 0, got {extra}"
+                    )
+                while operand > 0x7F:
+                    buf.append((operand & 0x7F) | 0x80)
+                    operand >>= 7
+                buf.append(operand)
+        self._counts[kind] += 1
+        self._events += 1
+        if len(buf) >= _FLUSH_BYTES and self._sink is not None:
+            self._flush()
+
+    def emit_solver_trace(self, solver) -> int:
+        """Encode a recorded :class:`~repro.logic.cdcl.CDCLSolver` trace
+        directly (no hardware timing: the "cycle" axis is the event
+        index).  Returns the number of events written.
+
+        This is the pure-software wiring of the CDCL trace: a solve can
+        be archived and analyzed without ever replaying it on the
+        accelerator model.
+        """
+        emit = self.emit
+        emit(EventKind.PHASE, None, PHASE_SOLVER)
+        index = self._last_cycle
+        written = 1
+        for event in solver.trace:
+            index += 1
+            kind = event.kind
+            if kind == "imply":
+                emit(EventKind.PROPAGATE, index, event.literal)
+            elif kind == "decide":
+                emit(EventKind.DECIDE, index, event.literal)
+            elif kind == "conflict":
+                emit(EventKind.CONFLICT, index, 0)
+            elif kind == "learn":
+                emit(EventKind.LEARN, index, event.clause_size)
+            elif kind == "backjump":
+                emit(EventKind.BACKJUMP, index, event.level)
+            elif kind == "restart":
+                emit(EventKind.RESTART, index)
+            else:  # unknown solver event kinds are skipped, not fatal
+                index -= 1
+                continue
+            written += 1
+        emit(EventKind.RUN_END, index)
+        return written + 1
+
+    # ----------------------------------------------------------- counters
+
+    @property
+    def events(self) -> int:
+        """Events emitted so far."""
+        return self._events
+
+    @property
+    def bytes_written(self) -> int:
+        """Stream bytes so far (header + records; footer only after close)."""
+        return self._flushed + len(self._buf)
+
+    @property
+    def last_cycle(self) -> int:
+        return self._last_cycle
+
+    def counts(self) -> Dict[str, int]:
+        """Per-kind event counts so far (non-zero, by kind name)."""
+        return {
+            EventKind(kind).name: count
+            for kind, count in enumerate(self._counts)
+            if count
+        }
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _flush(self) -> None:
+        self._flushed += len(self._buf)
+        self._sink.write(bytes(self._buf))
+        self._buf = bytearray()
+
+    def close(self) -> TraceSummary:
+        """Seal the stream: write the counting footer, flush, and (for
+        owned file sinks) close the file.  Idempotent; returns the
+        :class:`TraceSummary` for the whole trace."""
+        if self._closed:
+            return self._summary
+        self._closed = True
+        counts = {kind: n for kind, n in enumerate(self._counts) if n}
+        self._buf.extend(encode_footer(counts, self._events, self._last_cycle))
+        total_bytes = self._flushed + len(self._buf)
+        if self._sink is not None:
+            self._flush()
+            if self._owns_sink:
+                self._sink.close()
+        self._summary = TraceSummary(
+            events=self._events,
+            bytes=total_bytes,
+            last_cycle=self._last_cycle,
+            counts=self.counts(),
+            path=self.path,
+        )
+        return self._summary
+
+    def getvalue(self) -> bytes:
+        """The encoded stream of an in-memory (``sink=None``) writer."""
+        if self._sink is not None:
+            raise ValueError(
+                "getvalue() is only available on in-memory writers; "
+                f"this one streams to {self.path or self._sink!r}"
+            )
+        return bytes(self._buf)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -167,7 +167,7 @@ class TestCrossCheck:
 
 class TestPublicSurface:
     def test_top_level_imports(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
         for name in (
             "ReasonSession",
             "ReasonService",
@@ -177,6 +177,9 @@ class TestPublicSurface:
             "BatchResult",
             "ServiceBatchResult",
             "list_policies",
+            "TraceReader",
+            "TraceWriter",
+            "read_trace",
         ):
             assert hasattr(repro, name)
 

@@ -255,6 +255,40 @@ class TestEnergyModel:
         with pytest.raises(KeyError):
             EnergyModel().record("warp_drive")
 
+    def test_unknown_event_error_lists_valid_names(self):
+        # The rejection must be actionable: the message names the typo
+        # and every valid counter, so a misspelled event is a one-look
+        # fix instead of a trip to the source.
+        with pytest.raises(KeyError, match="warp_drive") as excinfo:
+            EnergyModel().record("warp_drive")
+        message = str(excinfo.value)
+        for name in ("alu_op", "sram_access", "control_overhead"):
+            assert name in message
+        with pytest.raises(KeyError, match="alu_opp"):
+            EnergyModel().record_many([("alu_op", 1), ("alu_opp", 2)])
+
+    def test_record_many_is_atomic_on_bad_name(self):
+        # Validation happens before any counter moves: a typo mid-batch
+        # must not half-apply the earlier pairs.
+        model = EnergyModel()
+        with pytest.raises(KeyError):
+            model.record_many([("alu_op", 5), ("not_an_event", 1)])
+        assert model.counts == {}
+
+    def test_counts_order_is_stable(self):
+        # counts() iterates EVENT_NAMES, not insertion order: two models
+        # fed the same events in different orders report identically
+        # (dict equality AND key order), so downstream serialization is
+        # deterministic.
+        from repro.core.arch.energy import EVENT_NAMES
+
+        a, b = EnergyModel(), EnergyModel()
+        a.record_many([("alu_op", 1), ("network_hop", 2), ("sram_access", 3)])
+        b.record_many([("sram_access", 3), ("alu_op", 1), ("network_hop", 2)])
+        assert a.counts == b.counts
+        assert list(a.counts) == list(b.counts)
+        assert list(a.counts) == [n for n in EVENT_NAMES if n in a.counts]
+
     def test_energy_accumulates(self):
         model = EnergyModel()
         model.record("alu_op", 100)

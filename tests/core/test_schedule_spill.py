@@ -15,10 +15,6 @@ The scheduler must keep two invariants pinned here:
   drift in victim selection, issue order or NOP insertion fails loudly.
 """
 
-from dataclasses import replace
-
-import pytest
-
 from repro.core.arch.config import DEFAULT_CONFIG
 from repro.core.arch.accelerator import ReasonAccelerator
 from repro.core.compiler import compile_dag
@@ -27,17 +23,10 @@ from repro.core.compiler.schedule import _BankFile
 from repro.core.dag import circuit_to_dag, default_leaf_inputs
 from repro.pc.learn import random_circuit
 
-#: Two banks of three registers on two PEs: far fewer registers than
-#: the kernel's live values, so allocation must spill on most issues.
-TINY_REGFILE = replace(DEFAULT_CONFIG, num_banks=2, regs_per_bank=3, num_pes=2)
-
-
-@pytest.fixture(scope="module")
-def overflow_schedule():
-    circuit = random_circuit(8, depth=3, sum_children=3, seed=13)
-    dag, _ = circuit_to_dag(circuit)
-    program, stats = compile_dag(dag, TINY_REGFILE)
-    return program, stats
+# The spill-heavy kernel/config pair and its compiled schedule come
+# from the shared session fixtures in tests/conftest.py
+# (``overflow_schedule`` / ``tiny_regfile``), which the trace suite's
+# cross-validation tests reuse verbatim — one definition, two suites.
 
 
 class TestSpillReloadStability:
@@ -84,12 +73,12 @@ class TestSpillReloadStability:
             InstructionKind.NOP: 21,
         }
 
-    def test_reloads_charge_cycles_and_energy(self, overflow_schedule):
+    def test_reloads_charge_cycles_and_energy(self, overflow_schedule, tiny_regfile):
         """Each RELOAD must cost a cycle and memory energy at
         execution time — the modeling gap was precisely that spilled
         intermediates returned for free."""
         program, stats = overflow_schedule
-        accelerator = ReasonAccelerator(TINY_REGFILE)
+        accelerator = ReasonAccelerator(tiny_regfile)
         report = accelerator.run_program(
             program, default_leaf_inputs(program.dag)
         )
@@ -101,7 +90,7 @@ class TestSpillReloadStability:
                 if instruction.kind is not InstructionKind.RELOAD
             ],
         )
-        baseline = ReasonAccelerator(TINY_REGFILE).run_program(
+        baseline = ReasonAccelerator(tiny_regfile).run_program(
             stripped, default_leaf_inputs(program.dag)
         )
         reloads = stats.schedule.reloads
@@ -113,7 +102,7 @@ class TestSpillReloadStability:
         # execution model already tracks by id.
         assert report.result == baseline.result
 
-    def test_reload_instructions_write_real_slots(self, overflow_schedule):
+    def test_reload_instructions_write_real_slots(self, overflow_schedule, tiny_regfile):
         program, _ = overflow_schedule
         reloads = [
             instruction
@@ -123,10 +112,10 @@ class TestSpillReloadStability:
         assert reloads
         for reload in reloads:
             bank, addr = reload.write
-            assert 0 <= bank < TINY_REGFILE.num_banks
-            assert 0 <= addr < TINY_REGFILE.regs_per_bank
+            assert 0 <= bank < tiny_regfile.num_banks
+            assert 0 <= addr < tiny_regfile.regs_per_bank
 
-    def test_spill_instructions_record_victim_locations(self, overflow_schedule):
+    def test_spill_instructions_record_victim_locations(self, overflow_schedule, tiny_regfile):
         program, _ = overflow_schedule
         spills = [
             instruction
@@ -136,16 +125,16 @@ class TestSpillReloadStability:
         for spill in spills:
             assert len(spill.reads) == 1
             bank, addr = spill.reads[0]
-            assert 0 <= bank < TINY_REGFILE.num_banks
-            assert 0 <= addr < TINY_REGFILE.regs_per_bank
+            assert 0 <= bank < tiny_regfile.num_banks
+            assert 0 <= addr < tiny_regfile.regs_per_bank
 
-    def test_every_compute_sees_resident_operands(self, overflow_schedule):
+    def test_every_compute_sees_resident_operands(self, overflow_schedule, tiny_regfile):
         program, _ = overflow_schedule
         for instruction in program.instructions:
             if instruction.kind is InstructionKind.COMPUTE:
                 for bank, addr in instruction.reads:
-                    assert 0 <= bank < TINY_REGFILE.num_banks
-                    assert 0 <= addr < TINY_REGFILE.regs_per_bank
+                    assert 0 <= bank < tiny_regfile.num_banks
+                    assert 0 <= addr < tiny_regfile.regs_per_bank
 
     def test_non_spilling_schedule_untouched_by_fix(self):
         """With ample registers nothing is ever evicted, so the

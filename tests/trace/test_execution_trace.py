@@ -1,0 +1,204 @@
+"""Execution-layer tracing: bit-identity when off, exact counter
+reproduction when on, and the API/service plumbing."""
+
+import pytest
+
+from repro.api.session import ReasonSession
+from repro.api.service import ReasonService
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.dag import default_leaf_inputs
+from repro.logic.generators import pigeonhole, random_ksat
+from repro.pc.learn import random_circuit
+from repro.trace import (
+    EventKind,
+    TraceReader,
+    TraceWriter,
+    cross_validate,
+    phase_breakdown,
+    read_trace,
+)
+
+
+class TestTracingIsObservationOnly:
+    """Attaching a writer must not perturb the modeled execution."""
+
+    def test_symbolic_replay_reports_identical(self):
+        formula = random_ksat(40, 160, seed=3)
+        plain = ReasonAccelerator()
+        trace_plain, _ = plain.run_symbolic(formula)
+
+        traced = ReasonAccelerator()
+        writer = TraceWriter()
+        traced.attach_trace(writer)
+        trace_on, _ = traced.run_symbolic(formula)
+        writer.close()
+
+        assert trace_on.cycles == trace_plain.cycles
+        assert trace_on.decisions == trace_plain.decisions
+        assert trace_on.implications == trace_plain.implications
+        assert trace_on.conflicts == trace_plain.conflicts
+        assert traced.energy.total_energy_j() == plain.energy.total_energy_j()
+        assert writer.events > 0
+
+    def test_program_reports_identical(self, overflow_schedule, tiny_regfile):
+        program, _ = overflow_schedule
+        inputs = default_leaf_inputs(program.dag)
+        plain = ReasonAccelerator(tiny_regfile).run_program(program, inputs)
+
+        traced_acc = ReasonAccelerator(tiny_regfile)
+        writer = TraceWriter()
+        traced_acc.attach_trace(writer)
+        traced = traced_acc.run_program(program, inputs)
+        writer.close()
+
+        assert traced.cycles == plain.cycles
+        assert traced.result == plain.result
+        assert traced.energy_j == plain.energy_j
+        assert traced.instructions == plain.instructions
+        assert traced.stalls == plain.stalls
+
+
+class TestCrossValidation:
+    """Summed trace events must reproduce ExecutionReport counters
+    exactly — the integrity bridge of the whole subsystem."""
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [random_ksat(40, 160, seed=3), pigeonhole(4)],
+        ids=["ksat", "pigeonhole"],
+    )
+    def test_symbolic_kernels(self, kernel):
+        report = ReasonSession(cache=False).run(kernel, trace=True)
+        data = report.extras["trace_data"]
+        TraceReader(data).validate()
+        cross_validate(data, report).raise_on_mismatch()
+
+    def test_circuit_kernel(self):
+        circuit = random_circuit(8, depth=3, sum_children=3, seed=3)
+        report = ReasonSession(cache=False).run(circuit, trace=True)
+        cross_validate(report.extras["trace_data"], report).raise_on_mismatch()
+
+    def test_spill_heavy_kernel(self, overflow_schedule, tiny_regfile):
+        # The register-starved kernel the scheduler suite pins
+        # (spills=99, reloads=63): every one of those memory events
+        # must appear in the trace individually and re-sum to the
+        # report's instruction and stall totals.
+        program, stats = overflow_schedule
+        accelerator = ReasonAccelerator(tiny_regfile)
+        writer = TraceWriter()
+        accelerator.attach_trace(writer)
+        hw = accelerator.run_program(program, default_leaf_inputs(program.dag))
+        writer.close()
+        data = writer.getvalue()
+
+        counts = TraceReader(data).validate().counts
+        assert counts["SPILL"] == stats.schedule.spills == 99
+        assert counts["RELOAD"] == stats.schedule.reloads == 63
+        assert counts["LOAD"] == stats.schedule.loads == 182
+        assert counts["NOP"] == stats.schedule.nops == 21
+
+        class _Report:
+            cycles = hw.cycles
+            queries = 1
+            extras = {"instructions": hw.instructions, "stalls": hw.stalls}
+
+        cross_validate(data, _Report()).raise_on_mismatch()
+
+    def test_queries_scale_cycles(self):
+        kernel = random_ksat(30, 120, seed=1)
+        report = ReasonSession(cache=False).run(kernel, queries=5, trace=True)
+        cross_validate(report.extras["trace_data"], report).raise_on_mismatch()
+
+    def test_mismatch_is_detected(self):
+        # Negative control: a wrong report must fail, not pass vacuously.
+        kernel = random_ksat(30, 120, seed=1)
+        report = ReasonSession(cache=False).run(kernel, trace=True)
+        report.extras["decisions"] += 1
+        result = cross_validate(report.extras["trace_data"], report)
+        assert not result.ok
+        assert [c.name for c in result.mismatches] == ["decisions"]
+        with pytest.raises(AssertionError, match="decisions"):
+            result.raise_on_mismatch()
+
+
+class TestTraceContents:
+    def test_learn_events_follow_conflicts(self):
+        formula = pigeonhole(4)  # UNSAT: plenty of conflicts and learns
+        report = ReasonSession(cache=False).run(formula, trace=True)
+        records = read_trace(report.extras["trace_data"])
+        conflicts = [r for r in records if r.kind is EventKind.CONFLICT]
+        learns = [r for r in records if r.kind is EventKind.LEARN]
+        assert conflicts
+        assert learns
+        for learn in learns:
+            assert learn.value >= 1  # learned clause size
+
+    def test_phase_markers_tag_the_stream(self):
+        kernel = random_ksat(30, 120, seed=1)
+        report = ReasonSession(cache=False).run(kernel, trace=True)
+        breakdown = phase_breakdown(report.extras["trace_data"])
+        assert list(breakdown.by_phase) == ["symbolic-replay"]
+        assert breakdown.total_cycles > 0
+
+    def test_pe_block_events_for_programs(self):
+        circuit = random_circuit(8, depth=3, sum_children=3, seed=3)
+        report = ReasonSession(cache=False).run(circuit, trace=True)
+        records = read_trace(report.extras["trace_data"])
+        computes = sum(1 for r in records if r.kind is EventKind.COMPUTE)
+        pe_blocks = sum(1 for r in records if r.kind is EventKind.PE_BLOCK)
+        assert computes == pe_blocks > 0
+
+
+class TestApiPlumbing:
+    def test_file_capture_and_summary(self, tmp_path):
+        path = tmp_path / "run.trace"
+        report = ReasonSession(cache=False).run(
+            random_ksat(30, 120, seed=2), trace=str(path)
+        )
+        info = report.extras["trace"]
+        assert info["path"] == str(path)
+        assert path.stat().st_size == info["bytes"]
+        assert info["bytes_per_event"] <= 6.0
+        assert "trace_data" not in report.extras
+        cross_validate(path, report).raise_on_mismatch()
+
+    def test_borrowed_writer_spans_runs(self):
+        # Passing an existing writer leaves its lifecycle to the caller:
+        # two runs append to one stream.
+        session = ReasonSession(cache=False)
+        writer = TraceWriter()
+        r1 = session.run(random_ksat(20, 80, seed=1), trace=writer)
+        after_first = writer.events
+        r2 = session.run(random_ksat(20, 80, seed=2), trace=writer)
+        assert "trace" not in r1.extras  # backend didn't close/summarize
+        assert writer.events > after_first
+        writer.close()
+        TraceReader(writer.getvalue()).validate()
+        assert sum(1 for r in read_trace(writer.getvalue()) if r.kind is EventKind.RUN_END) == 2
+
+    def test_trace_does_not_split_the_compile_cache(self):
+        session = ReasonSession()
+        kernel = random_ksat(20, 80, seed=4)
+        first = session.run(kernel)
+        traced = session.run(kernel, trace=True)
+        assert not first.cache_hit
+        assert traced.cache_hit  # tracing is not a compile knob
+        cross_validate(traced.extras["trace_data"], traced).raise_on_mismatch()
+
+    def test_service_trace_dir_content_addressing(self, tmp_path):
+        kernel = random_ksat(30, 120, seed=6)
+        with ReasonService(shards=2, trace_dir=tmp_path / "traces") as service:
+            future = service.submit(kernel, trace=True)
+            report = future.result()
+            path = service.trace_path_for(future.fingerprint)
+        assert str(path) == report.extras["trace"]["path"]
+        assert path.exists()
+        cross_validate(path, report).raise_on_mismatch()
+
+    def test_service_without_trace_dir_keeps_memory_capture(self):
+        kernel = random_ksat(20, 80, seed=7)
+        with ReasonService(shards=1) as service:
+            report = service.submit(kernel, trace=True).result()
+            with pytest.raises(ValueError, match="trace_dir"):
+                service.trace_path_for("abc")
+        cross_validate(report.extras["trace_data"], report).raise_on_mismatch()
