@@ -30,7 +30,13 @@ Package map:
 * :mod:`repro.trace` — opt-in binary event traces of the accelerator's
   modeled execution (versioned varint/delta wire format, streaming
   reader, offline analysis tools and the ``python -m repro.trace``
-  CLI).
+  CLI, including trace-to-trace regression diffing);
+* :mod:`repro.metrics` — live telemetry over the serving path:
+  lock-cheap counters/gauges/log-bucket histograms in a
+  :class:`MetricsRegistry`, per-request :class:`RequestSpan` records
+  (queue-wait/compile/execute/e2e plus predicted-vs-actual residuals),
+  Prometheus-text/JSON exposition, and snapshot diffing via the
+  ``python -m repro.metrics`` CLI — zero overhead when off.
 
 Quickstart::
 
@@ -44,7 +50,7 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     ArtifactStore,
@@ -71,6 +77,13 @@ from repro.costmodel import (  # noqa: E402  (public re-exports)
     CostFeatures,
     CostPrediction,
 )
+from repro.metrics import (  # noqa: E402  (public re-exports)
+    MetricsRegistry,
+    RequestSpan,
+    SpanLog,
+    diff_snapshots,
+    render_prometheus,
+)
 from repro.trace import (  # noqa: E402  (public re-exports)
     TraceReader,
     TraceWriter,
@@ -95,6 +108,11 @@ __all__ = [
     "Calibrator",
     "CostFeatures",
     "CostPrediction",
+    "MetricsRegistry",
+    "RequestSpan",
+    "SpanLog",
+    "diff_snapshots",
+    "render_prometheus",
     "TraceReader",
     "TraceWriter",
     "read_trace",

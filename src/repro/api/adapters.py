@@ -55,6 +55,13 @@ class RunOptions:
     not a compilation knob — it deliberately stays out of
     :meth:`KernelAdapter.fingerprint`, so traced and untraced runs of
     the same kernel share one cache entry.
+
+    ``span`` is the live-telemetry sibling of ``trace``: pass a
+    :class:`~repro.metrics.spans.RequestSpan` and the session fills
+    its compile/execute wall-time legs while serving the request (the
+    service attaches one per admitted request).  Like ``trace``, it is
+    observation-only and deliberately excluded from the fingerprint —
+    metrics must never split the compile cache.
     """
 
     optimize: bool = True
@@ -63,6 +70,7 @@ class RunOptions:
     hmm_observations: Optional[Sequence[int]] = None
     record_events: bool = False
     trace: object = None
+    span: object = None
 
     def calibration_key(self) -> object:
         if self.calibration is None:

@@ -59,6 +59,8 @@ from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.system.pipeline import PipelineResult
 from repro.core.system.sharding import ShardComposition, compose_shard_makespans
 from repro.costmodel import CostEstimator
+from repro.metrics.registry import RATIO_BUCKETS, MetricsRegistry, ensure_registry
+from repro.metrics.spans import RequestSpan, SpanLog
 
 
 class ServiceClosed(RuntimeError):
@@ -83,6 +85,7 @@ class _WorkItem:
     fingerprint: str  # computed at admission; reused for the cache lookup
     future: ReasonFuture
     predicted_s: float = 0.0  # busy-time charged at admission, repaid on exit
+    span: Optional[RequestSpan] = None  # live-telemetry record (metrics on)
 
 
 class _Shard:
@@ -96,11 +99,13 @@ class _Shard:
         stats_window: Optional[int],
         backend: str = "reason",
         observe=None,
+        sink=None,
     ):
         self.index = index
         self.session = session
         self.backend = backend
         self.observe = observe  # callback(shard, item, report) on success
+        self.sink = sink  # callback(span) on every span close (metrics on)
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
         self.lock = threading.Lock()
         # Serializes enqueues against close()'s sentinel, so an admitted
@@ -147,12 +152,24 @@ class _Shard:
         # a phantom negative backlog behind.
         self.busy_s = max(self.busy_s - item.predicted_s, 0.0)
 
+    def _close_span(self, span: Optional[RequestSpan]) -> None:
+        # Shielded like observe: telemetry must never kill the worker.
+        if span is not None and self.sink is not None:
+            try:
+                self.sink(span)
+            except Exception:
+                pass
+
     def _execute(self, item: _WorkItem) -> None:
         if not item.future.set_running_or_notify_cancel():
             with self.lock:  # cancelled while queued
                 self.cancelled += 1
                 self._repay_busy(item)
+            if item.span is not None:
+                self._close_span(item.span.cancel())
             return
+        if item.span is not None:
+            item.span.mark_started()
         try:
             report = self.session.run_prepared(
                 item.kernel,
@@ -165,12 +182,16 @@ class _Shard:
             with self.lock:
                 self.failed += 1
                 self._repay_busy(item)
+            if item.span is not None:
+                self._close_span(item.span.fail(exc))
             item.future.set_exception(exc)
         else:
             with self.lock:
                 self.completed += 1
                 self._repay_busy(item)
                 self.stage_times.append((item.neural_s, report.seconds))
+            if item.span is not None:
+                self._close_span(item.span.complete(report))
             item.future.set_result(report)
             # After set_result, and shielded: a defective cost model
             # (user-supplied estimator) must never hang a caller or
@@ -203,6 +224,42 @@ class ShardStats:
     makespan: PipelineResult
     backend: str = "reason"  # substrate this shard executes on
     busy_s: float = 0.0  # predicted seconds of unfinished admitted work
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; :meth:`from_dict` round-trips it exactly
+        (dashboards and the metrics CLI persist these next to
+        snapshots)."""
+        return {
+            "index": self.index,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "pending": self.pending,
+            "retained": self.retained,
+            "prepare_calls": self.prepare_calls,
+            "cache": self.cache.to_dict(),
+            "makespan": self.makespan.to_dict(),
+            "backend": self.backend,
+            "busy_s": self.busy_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardStats":
+        return cls(
+            index=int(data["index"]),
+            submitted=int(data["submitted"]),
+            completed=int(data["completed"]),
+            failed=int(data["failed"]),
+            cancelled=int(data["cancelled"]),
+            pending=int(data["pending"]),
+            retained=int(data["retained"]),
+            prepare_calls=int(data["prepare_calls"]),
+            cache=CacheStats.from_dict(data["cache"]),
+            makespan=PipelineResult.from_dict(data["makespan"]),
+            backend=str(data.get("backend", "reason")),
+            busy_s=float(data.get("busy_s", 0.0)),
+        )
 
 
 @dataclass
@@ -260,6 +317,23 @@ class ServiceStats:
         stats window, so the rate stays honest on long-lived services
         whose all-time ``completed`` exceeds the window."""
         return self.composition.throughput_rps(self.retained)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the whole snapshot (derived properties
+        recompute from the round-tripped fields)."""
+        return {
+            "policy": self.policy,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "composition": self.composition.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceStats":
+        return cls(
+            policy=str(data["policy"]),
+            shards=[ShardStats.from_dict(entry) for entry in data["shards"]],
+            composition=ShardComposition.from_dict(data["composition"]),
+        )
 
 
 @dataclass
@@ -369,6 +443,22 @@ class ReasonService:
         so a request's trace sits next to its compiled artifact
         (:meth:`trace_path_for` resolves it).  Requests that pass an
         explicit path or writer keep it unchanged.
+    metrics:
+        Live telemetry (:mod:`repro.metrics`): ``True`` for a private
+        :class:`~repro.metrics.registry.MetricsRegistry`, or a shared
+        registry instance to aggregate several services.  When on,
+        every admitted request carries a
+        :class:`~repro.metrics.spans.RequestSpan` (queue-wait /
+        compile / execute / end-to-end wall times plus
+        predicted-vs-actual residuals), the shards' sessions register
+        their cache and compile instruments labeled ``shard=<i>``, and
+        the cost model's calibrator exports residual histograms.
+        :meth:`metrics` returns the registry, :meth:`spans` the recent
+        span records.  Off by default; when off, the serving path
+        touches no instrument at all.
+    span_log:
+        How many completed spans :meth:`spans` retains (a bounded ring,
+        like ``stats_window``).  Ignored unless metrics are on.
     """
 
     def __init__(
@@ -383,6 +473,8 @@ class ReasonService:
         cost_model: Optional[CostEstimator] = None,
         store: Union[None, str, ArtifactStore] = None,
         trace_dir: Union[None, str, "os.PathLike"] = None,
+        metrics: Union[None, bool, MetricsRegistry] = None,
+        span_log: int = 4096,
     ):
         if isinstance(shards, int):
             backends = ["reason"] * shards
@@ -415,6 +507,12 @@ class ReasonService:
 
             self.trace_dir = Path(trace_dir)
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self._metrics = ensure_registry(metrics)
+        self._span_log: Optional[SpanLog] = (
+            SpanLog(span_log) if self._metrics is not None else None
+        )
+        # Per-backend span histograms, created lazily by _record_span.
+        self._span_instruments: Dict[str, Dict[str, object]] = {}
         self._shards = [
             _Shard(
                 index,
@@ -423,14 +521,19 @@ class ReasonService:
                     cache=cache,
                     cache_capacity=cache_capacity,
                     store=self.store,
+                    metrics=self._metrics,
+                    metrics_labels={"shard": str(index)},
                 ),
                 max_queue,
                 stats_window,
                 backend=backend,
                 observe=self._observe,
+                sink=self._record_span if self._metrics is not None else None,
             )
             for index, backend in enumerate(backends)
         ]
+        if self._metrics is not None:
+            self._register_metrics()
         self._closed = False
         self._admission_lock = threading.Lock()  # serializes policy.select
         # Fingerprints confirmed store-resident: content-addressed
@@ -474,6 +577,139 @@ class ReasonService:
         from repro.trace.analyze import trace_artifact_path
 
         return trace_artifact_path(self.trace_dir, fingerprint)
+
+    # ------------------------------------------------------------- metrics
+
+    def metrics(self) -> MetricsRegistry:
+        """The live :class:`~repro.metrics.registry.MetricsRegistry`
+        behind this service (``service.metrics().snapshot()`` exports
+        it; the renderers in :mod:`repro.metrics.render` format it)."""
+        if self._metrics is None:
+            raise ValueError("service was built without metrics=")
+        return self._metrics
+
+    def spans(self, last: Optional[int] = None) -> List[RequestSpan]:
+        """The most recent completed request spans, oldest first
+        (bounded by the ``span_log`` constructor argument)."""
+        if self._span_log is None:
+            raise ValueError("service was built without metrics=")
+        return self._span_log.snapshot(last)
+
+    def _register_metrics(self) -> None:
+        """Service-level instruments and per-shard snapshot callbacks.
+
+        Shard counters (submitted/completed/failed/cancelled, queue
+        depth, predicted busy seconds) already exist under the shard
+        locks — they are mirrored by callbacks evaluated only at
+        snapshot time, so the admission and worker paths pay nothing.
+        """
+        registry = self._metrics
+        self._m_admitted = registry.counter(
+            "reason_service_admitted_total",
+            "Requests admitted past the scheduling policy.",
+        )
+        self._m_rejected = {
+            reason: registry.counter(
+                "reason_service_rejected_total",
+                "Requests rejected at admission, by reason.",
+                reason=reason,
+            )
+            for reason in ("closed", "overloaded")
+        }
+        for shard in self._shards:
+            labels = {"shard": str(shard.index)}
+            for field, help_text in (
+                ("submitted", "Requests admitted to this shard."),
+                ("completed", "Requests this shard executed successfully."),
+                ("failed", "Requests that raised on this shard."),
+                ("cancelled", "Requests cancelled while queued."),
+            ):
+                registry.register_callback(
+                    f"reason_shard_{field}_total",
+                    lambda s=shard, f=field: getattr(s, f),
+                    kind="counter",
+                    help=help_text,
+                    **labels,
+                )
+            registry.register_callback(
+                "reason_shard_queue_depth",
+                lambda s=shard: s.pending,
+                kind="gauge",
+                help="Admitted but not yet terminal (queued or executing).",
+                **labels,
+            )
+            registry.register_callback(
+                "reason_shard_busy_seconds",
+                lambda s=shard: s.busy_s,
+                kind="gauge",
+                help="Predicted seconds of admitted-but-unfinished work.",
+                **labels,
+            )
+        if self.store is not None:
+            registry.register_callback(
+                "reason_store_artifacts",
+                lambda: len(self.store),
+                kind="gauge",
+                help="Artifacts resident in the shared store.",
+            )
+        self.cost_model.calibrator.attach_metrics(registry)
+
+    def _span_hists(self, backend: str) -> Dict[str, object]:
+        """Per-backend span histograms, get-or-create (racy-but-
+        idempotent: the registry dedupes by name + labels)."""
+        instruments = self._span_instruments.get(backend)
+        if instruments is None:
+            registry = self._metrics
+            instruments = {
+                "queue_wait": registry.histogram(
+                    "reason_request_queue_wait_seconds",
+                    "Admission to worker pickup.",
+                    backend=backend,
+                ),
+                "execute": registry.histogram(
+                    "reason_request_execute_seconds",
+                    "Backend execution wall seconds.",
+                    backend=backend,
+                ),
+                "e2e": registry.histogram(
+                    "reason_request_e2e_seconds",
+                    "Admission to completion — caller-visible latency.",
+                    backend=backend,
+                ),
+                "latency_residual": registry.histogram(
+                    "reason_request_latency_residual",
+                    "Actual/predicted modeled seconds (1.0 = exact).",
+                    buckets=RATIO_BUCKETS,
+                    backend=backend,
+                ),
+                "energy_residual": registry.histogram(
+                    "reason_request_energy_residual",
+                    "Actual/predicted energy (1.0 = exact).",
+                    buckets=RATIO_BUCKETS,
+                    backend=backend,
+                ),
+            }
+            self._span_instruments[backend] = instruments
+        return instruments
+
+    def _record_span(self, span: RequestSpan) -> None:
+        """Span sink, called by shard workers as each span closes:
+        log the record and fold its legs into the per-backend
+        histograms.  Failures and cancellations are logged but kept
+        out of the latency distributions."""
+        self._span_log.append(span)
+        if span.status != "ok":
+            return
+        instruments = self._span_hists(span.backend)
+        instruments["queue_wait"].observe(span.queue_wait_s)
+        instruments["execute"].observe(span.execute_s)
+        instruments["e2e"].observe(span.e2e_s)
+        latency_residual = span.latency_residual
+        if latency_residual is not None:
+            instruments["latency_residual"].observe(latency_residual)
+        energy_residual = span.energy_residual
+        if energy_residual is not None:
+            instruments["energy_residual"].observe(energy_residual)
 
     def _observe(self, shard: _Shard, item: _WorkItem, report: ExecutionReport) -> None:
         """Worker callback after every successful execution: feed the
@@ -576,6 +812,7 @@ class ReasonService:
         timeout: Optional[float],
     ) -> ReasonFuture:
         if self._closed:
+            self._count_reject("closed")
             raise ServiceClosed("cannot submit to a closed ReasonService")
         if queries < 1:
             raise ValueError("queries must be >= 1")
@@ -648,6 +885,22 @@ class ReasonService:
             resolved = backend if backend is not None else shard.backend
             prediction = predicted.get(resolved)
             predicted_s = prediction.seconds if prediction is not None else 0.0
+            span = None
+            if self._metrics is not None:
+                span = RequestSpan(
+                    fingerprint=fingerprint,
+                    kind=adapter.kind,
+                    backend=resolved,
+                    shard=index,
+                    queries=queries,
+                    predicted_s=predicted_s,
+                    predicted_energy_j=(
+                        prediction.energy_j if prediction is not None else 0.0
+                    ),
+                    warm=warm,
+                )
+                # Observation-only, fingerprint-excluded — like trace=.
+                options = replace(options, span=span)
             future = ReasonFuture(
                 kind=adapter.kind,
                 fingerprint=fingerprint,
@@ -663,6 +916,7 @@ class ReasonService:
                 fingerprint,
                 future,
                 predicted_s,
+                span=span,
             )
             # Charge the placement while still holding the admission
             # lock: the next policy.select must see this request in the
@@ -684,6 +938,7 @@ class ReasonService:
             timeout=-1 if timeout is None else timeout
         ):
             self._rollback_admission(shard, item)
+            self._count_reject("overloaded")
             raise ServiceOverloaded(
                 f"shard {index} admission blocked behind a full queue "
                 f"({self.max_queue} requests) for {timeout}s"
@@ -691,6 +946,7 @@ class ReasonService:
         try:
             if self._closed:
                 self._rollback_admission(shard, item)
+                self._count_reject("closed")
                 raise ServiceClosed("cannot submit to a closed ReasonService")
             try:
                 remaining = (
@@ -699,12 +955,15 @@ class ReasonService:
                 shard.queue.put(item, block=True, timeout=remaining)
             except queue.Full:
                 self._rollback_admission(shard, item)
+                self._count_reject("overloaded")
                 raise ServiceOverloaded(
                     f"shard {index} admission queue full "
                     f"({self.max_queue} requests) after {timeout}s"
                 ) from None
         finally:
             shard.submit_lock.release()
+        if self._metrics is not None:
+            self._m_admitted.inc()
         return future
 
     @staticmethod
@@ -714,6 +973,10 @@ class ReasonService:
         with shard.lock:
             shard.submitted -= 1
             shard._repay_busy(item)
+
+    def _count_reject(self, reason: str) -> None:
+        if self._metrics is not None:
+            self._m_rejected[reason].inc()
 
     # ----------------------------------------------------------- execution
 
@@ -807,7 +1070,13 @@ class ReasonService:
                 times = list(shard.stage_times)
             shard_tasks.append(times)
             snapshots.append((shard, counters, len(times)))
-        composition = compose_shard_makespans(shard_tasks)
+        # Zero completed requests compose explicitly to the zero
+        # makespan (no division, no empty-sequence edge inside the
+        # pipeline model) — stats() is safe to call on a fresh service.
+        if any(shard_tasks):
+            composition = compose_shard_makespans(shard_tasks)
+        else:
+            composition = ShardComposition.empty(len(shard_tasks))
         stats = []
         for (shard, counters, retained), makespan in zip(
             snapshots, composition.per_shard

@@ -33,6 +33,7 @@ from repro.api.store import ArtifactStore
 from repro.api.types import BatchResult, CompiledArtifact, ExecutionReport
 from repro.core.arch.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.system.pipeline import TwoLevelPipeline
+from repro.metrics.registry import MetricsRegistry, ensure_registry
 
 
 class ReasonSession:
@@ -54,6 +55,17 @@ class ReasonSession:
         any of them is a (shared) cache hit for all of them.
         Contradicts ``cache=False`` (the store is a cache level), so
         that combination raises :class:`ValueError`.
+    metrics:
+        Live telemetry (:mod:`repro.metrics`): ``True`` for a private
+        :class:`~repro.metrics.registry.MetricsRegistry`, or a shared
+        registry instance (how :class:`~repro.api.service.ReasonService`
+        aggregates its shards).  Off by default — when off, the run
+        path touches no instrument at all.
+    metrics_labels:
+        Labels stamped on every series this session registers
+        (``{"shard": "0"}`` from the service).  Two sessions sharing a
+        registry must be distinguished by labels, or registration of
+        the second one's callbacks raises.
     """
 
     def __init__(
@@ -62,6 +74,8 @@ class ReasonSession:
         cache: bool = True,
         cache_capacity: Optional[int] = None,
         store: Union[None, str, ArtifactStore] = None,
+        metrics: Union[None, bool, MetricsRegistry] = None,
+        metrics_labels: Optional[Dict[str, str]] = None,
     ):
         if store is not None and not cache:
             raise ValueError(
@@ -75,6 +89,90 @@ class ReasonSession:
         self._backends: Dict[str, Backend] = {}
         self._prepare_calls = 0
         self._lock = threading.Lock()  # guards _backends and _prepare_calls
+        self.metrics: Optional[MetricsRegistry] = ensure_registry(metrics)
+        self._metrics_labels: Dict[str, str] = dict(metrics_labels or {})
+        # Per-backend (runs counter, run-seconds histogram) pairs,
+        # created lazily on first use so only exercised backends
+        # appear in the snapshot.
+        self._run_metrics: Dict[str, tuple] = {}
+        self._m_compile = None
+        if self.metrics is not None:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register this session's instruments and snapshot callbacks.
+
+        Everything that already has a counter elsewhere (prepare calls,
+        cache stats, cache size) is exported via snapshot-time
+        callbacks — the hot path pays nothing for them.  Only the
+        compile-seconds histogram is a live instrument, observed once
+        per cold compile (which is front-end-dominated anyway).
+        """
+        registry, labels = self.metrics, self._metrics_labels
+        self._m_compile = registry.histogram(
+            "reason_compile_seconds",
+            "Offline front-end wall seconds per cold compile.",
+            **labels,
+        )
+        registry.register_callback(
+            "reason_prepare_calls_total",
+            lambda: self._prepare_calls,
+            kind="counter",
+            help="Times the offline front end actually ran.",
+            **labels,
+        )
+        cache = self._cache
+        if cache is None:
+            return
+        for field, help_text in (
+            ("local_hits", "Compile-cache hits served by the local LRU."),
+            ("shared_hits", "Compile-cache hits served by the shared store."),
+            ("misses", "Compile-cache misses (cold compiles paid)."),
+            ("evictions", "Artifacts evicted from the local LRU."),
+            ("promotions", "Store-served artifacts promoted into the LRU."),
+        ):
+            registry.register_callback(
+                f"reason_cache_{field}_total",
+                # Bind the field name now; read the live stats at
+                # snapshot time.
+                lambda field=field: getattr(cache.stats, field),
+                kind="counter",
+                help=help_text,
+                **labels,
+            )
+        registry.register_callback(
+            "reason_cache_artifacts",
+            lambda: len(cache),
+            kind="gauge",
+            help="Artifacts currently resident in the local LRU.",
+            **labels,
+        )
+
+    def _run_instruments(self, backend: str) -> tuple:
+        """The (counter, histogram) pair for one backend, get-or-create.
+
+        The dict probe is racy-but-idempotent: the registry dedupes by
+        (name, labels), so two threads racing the first request on a
+        backend converge on the same instruments.
+        """
+        pair = self._run_metrics.get(backend)
+        if pair is None:
+            labels = dict(self._metrics_labels)
+            labels["backend"] = backend
+            pair = (
+                self.metrics.counter(
+                    "reason_runs_total",
+                    "Requests executed by this session.",
+                    **labels,
+                ),
+                self.metrics.histogram(
+                    "reason_run_seconds",
+                    "Backend execution wall seconds per request.",
+                    **labels,
+                ),
+            )
+            self._run_metrics[backend] = pair
+        return pair
 
     # ------------------------------------------------------------ plumbing
 
@@ -164,6 +262,8 @@ class ReasonSession:
             artifact.key = key or ""
             with self._lock:
                 self._prepare_calls += 1
+            if self._m_compile is not None:
+                self._m_compile.observe(artifact.compile_s)
             return artifact
 
         if self._cache is None:
@@ -220,12 +320,40 @@ class ReasonSession:
         """
         if queries < 1:
             raise ValueError("queries must be >= 1")
+        span = options.span
+        if span is None and self.metrics is None:
+            # The production fast path: no timestamps, no instruments.
+            artifact, cache_hit = self._compile(kernel, options, key=fingerprint)
+            report = self._backend(backend).run(
+                artifact, config=self.config, queries=queries, options=options
+            )
+            report.cache_hit = cache_hit
+            report.compile_s = 0.0 if cache_hit else artifact.compile_s
+            return report
+        # Instrumented twin: identical calls bracketed by perf_counter
+        # reads, so reports stay bit-identical with telemetry on.
+        compile_start = time.perf_counter()
         artifact, cache_hit = self._compile(kernel, options, key=fingerprint)
+        execute_start = time.perf_counter()
         report = self._backend(backend).run(
             artifact, config=self.config, queries=queries, options=options
         )
+        execute_end = time.perf_counter()
         report.cache_hit = cache_hit
         report.compile_s = 0.0 if cache_hit else artifact.compile_s
+        if span is not None:
+            span.cache_hit = cache_hit
+            span.backend = backend
+            if not span.kind:
+                span.kind = artifact.kind
+            # On a hit the lookup is noise, not compile time — mirror
+            # the report's convention.
+            span.compile_s = 0.0 if cache_hit else execute_start - compile_start
+            span.execute_s = execute_end - execute_start
+        if self.metrics is not None:
+            runs, run_seconds = self._run_instruments(backend)
+            runs.inc()
+            run_seconds.observe(execute_end - execute_start)
         return report
 
     def run_batch(

@@ -57,7 +57,7 @@ class Calibrator:
     tests assert.
     """
 
-    def __init__(self, alpha: float = 0.5):
+    def __init__(self, alpha: float = 0.5, metrics=None):
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha
@@ -68,6 +68,37 @@ class Calibrator:
         self._energy: Dict[Key, _Ewma] = {}  # absolute J/query
         self._compile: Dict[str, _Ewma] = {}  # kind → compile seconds
         self._observations = 0
+        self._metrics = None
+        self._residual_hists: Dict[Key, object] = {}
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry) -> None:
+        """Export residual-ratio histograms to a live-metrics registry
+        (:mod:`repro.metrics`): every observed ``observed / raw``
+        ratio lands in ``reason_costmodel_residual_ratio{backend,kind}``
+        so a snapshot shows *how wrong the static model is* per kernel
+        class, not just the EWMA it converged to.  Zero overhead until
+        attached; the service attaches its registry at construction."""
+        from repro.metrics.registry import ensure_registry
+
+        self._metrics = ensure_registry(registry)
+
+    def _residual_hist(self, kind: str, backend: str):
+        hist = self._residual_hists.get((kind, backend))
+        if hist is None:
+            from repro.metrics.registry import RATIO_BUCKETS
+
+            hist = self._metrics.histogram(
+                "reason_costmodel_residual_ratio",
+                "Observed/raw-predicted seconds per observation "
+                "(1.0 = the static model was exact).",
+                buckets=RATIO_BUCKETS,
+                backend=backend,
+                kind=kind,
+            )
+            self._residual_hists[(kind, backend)] = hist
+        return hist
 
     # ------------------------------------------------------------ observe
 
@@ -87,6 +118,7 @@ class Calibrator:
         request; when it is positive the ratio EWMAs learn, otherwise
         only the absolute class prior does.
         """
+        ratio = None
         with self._lock:
             self._observations += 1
             key = (fingerprint, backend)
@@ -103,6 +135,10 @@ class Calibrator:
                 self._energy.setdefault(key, _Ewma(self.alpha)).update(energy_j)
             if compile_s is not None and compile_s > 0.0:
                 self._compile.setdefault(kind, _Ewma(self.alpha)).update(compile_s)
+        # Outside the EWMA lock: the histogram has its own, and the
+        # registry lookup (first observation per class) must not nest.
+        if ratio is not None and self._metrics is not None:
+            self._residual_hist(kind, backend).observe(ratio)
 
     # ------------------------------------------------------------ queries
 

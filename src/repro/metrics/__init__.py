@@ -1,0 +1,57 @@
+"""Live metrics & telemetry for the REASON serving stack.
+
+The offline story (:mod:`repro.trace`) records what one execution did;
+this package reports what a *running service* is doing: a lock-cheap
+:class:`MetricsRegistry` of counters, gauges and fixed-log-bucket
+histograms (with labels and quantile estimation), per-request
+:class:`RequestSpan` records carrying queue-wait / compile / execute /
+end-to-end wall times and the cost model's predicted-vs-actual
+residuals, Prometheus-text and JSON exposition, snapshot diffing for
+regression hunting, and the ``python -m repro.metrics`` CLI.
+
+Wiring is zero-overhead-when-off throughout: pass ``metrics=True`` (or
+a shared registry) to :class:`~repro.api.session.ReasonSession` /
+:class:`~repro.api.service.ReasonService` to turn it on; without it no
+instrument is ever touched.
+"""
+
+from repro.metrics.diff import MetricChange, SnapshotDiff, diff_snapshots
+from repro.metrics.registry import (
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ensure_registry,
+    log_buckets,
+)
+from repro.metrics.render import (
+    load_snapshot,
+    render_json,
+    render_pretty,
+    render_prometheus,
+    save_snapshot,
+)
+from repro.metrics.spans import RequestSpan, SpanLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestSpan",
+    "SpanLog",
+    "MetricChange",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "render_prometheus",
+    "render_json",
+    "render_pretty",
+    "save_snapshot",
+    "load_snapshot",
+    "log_buckets",
+    "ensure_registry",
+    "LATENCY_BUCKETS",
+    "RATIO_BUCKETS",
+]

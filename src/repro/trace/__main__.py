@@ -10,6 +10,10 @@ Commands::
                               event-cycle histogram (ASCII)
     dump     TRACE [--kinds DECIDE,CONFLICT] [--start C] [--end C]
                    [--limit N]  print matching records
+    diff     A B              align two traces of the same kernel;
+                              per-kind count deltas, per-phase cycle
+                              deltas and the first diverging event;
+                              exit 1 when they differ (CI gate)
     record   OUT [--kernel ksat|pigeonhole|circuit|hmm] [--size N]
                               run a demo kernel with tracing on, write
                               OUT, and cross-validate it against the
@@ -27,6 +31,7 @@ from repro.trace.analyze import (
     bank_heatmap,
     cross_validate,
     cycle_histogram,
+    diff_traces,
     phase_breakdown,
 )
 from repro.trace.format import EventKind, TraceFormatError
@@ -127,6 +132,20 @@ def _print_dump(args) -> int:
     return 0
 
 
+def _print_diff(args) -> int:
+    result = diff_traces(args.a, args.b)
+    if result.identical:
+        print(
+            f"OK: traces match ({result.events[0]} events, "
+            f"{result.cycles[0]} cycles)"
+        )
+        return 0
+    for line in result.describe():
+        print(line)
+    print("DIFFERS: the traces record different executions")
+    return 1
+
+
 def _record_demo(args) -> int:
     # Imported here: the CLI's read-side commands must not drag the
     # whole accelerator stack in just to summarize a file.
@@ -205,6 +224,13 @@ def main(argv=None) -> int:
     dump.add_argument("--end", type=int, default=None, help="window end cycle")
     dump.add_argument("--limit", type=int, default=50)
     dump.set_defaults(handler=_print_dump)
+
+    diff = commands.add_parser(
+        "diff", help="align two traces; exit 1 when they differ"
+    )
+    diff.add_argument("a", help="baseline trace")
+    diff.add_argument("b", help="candidate trace")
+    diff.set_defaults(handler=_print_diff)
 
     record = commands.add_parser(
         "record", help="trace a demo kernel and cross-validate the file"

@@ -14,7 +14,10 @@ billions of events.
   run (conflict clustering, learn bursts, spill storms);
 * :func:`cross_validate` — the integrity bridge back to the execution
   layer: summed trace events must reproduce an
-  :class:`~repro.api.types.ExecutionReport`'s counters *exactly*.
+  :class:`~repro.api.types.ExecutionReport`'s counters *exactly*;
+* :func:`diff_traces` — regression hunting: align two traces of the
+  same kernel event-by-event and report per-kind count deltas,
+  per-phase cycle deltas and the first diverging event.
 """
 
 from __future__ import annotations
@@ -253,6 +256,166 @@ def cross_validate(source, report) -> ValidationResult:
     if cycles is not None:
         check("cycles", max(run_end_cycle, 1) * queries, cycles)
     return result
+
+
+# ----------------------------------------------------- regression diffing
+
+
+@dataclass
+class TraceDelta:
+    """One aggregate that moved between two traces."""
+
+    name: str  # event-kind name (count deltas) or phase name (cycles)
+    before: int
+    after: int
+
+    @property
+    def delta(self) -> int:
+        return self.after - self.before
+
+
+@dataclass
+class TraceDivergence:
+    """The first event ordinal where the two streams disagree.
+
+    ``before`` / ``after`` are human-readable record descriptions;
+    ``None`` on a side means that trace ended before the ordinal.
+    """
+
+    index: int
+    before: Optional[str]
+    after: Optional[str]
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of :func:`diff_traces` over traces A (before) and B
+    (after).  ``identical`` means the streams matched record for
+    record; everything else localizes the regression: which kinds
+    changed count, which phases gained/lost cycles, and the exact
+    event where the executions first took different paths.
+    """
+
+    events: Tuple[int, int]
+    cycles: Tuple[int, int]
+    kind_deltas: List[TraceDelta] = field(default_factory=list)
+    phase_deltas: List[TraceDelta] = field(default_factory=list)
+    divergence: Optional[TraceDivergence] = None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> List[str]:
+        lines: List[str] = []
+        if self.events[0] != self.events[1]:
+            lines.append(f"events: {self.events[0]} -> {self.events[1]}")
+        if self.cycles[0] != self.cycles[1]:
+            lines.append(f"cycles: {self.cycles[0]} -> {self.cycles[1]}")
+        for delta in self.kind_deltas:
+            lines.append(
+                f"count {delta.name}: {delta.before} -> {delta.after} "
+                f"({delta.delta:+d})"
+            )
+        for delta in self.phase_deltas:
+            lines.append(
+                f"cycles[{delta.name}]: {delta.before} -> {delta.after} "
+                f"({delta.delta:+d})"
+            )
+        if self.divergence is not None:
+            lines.append(f"first divergence at event #{self.divergence.index}:")
+            lines.append(f"  A: {self.divergence.before or '<end of trace>'}")
+            lines.append(f"  B: {self.divergence.after or '<end of trace>'}")
+        return lines
+
+
+class _DiffSide:
+    """Streaming aggregates over one trace (counts + phase cycles)."""
+
+    __slots__ = ("events", "last_cycle", "phase", "counts", "phase_cycles")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.last_cycle = 0
+        self.phase = "untagged"
+        self.counts: Dict[str, int] = {}
+        self.phase_cycles: Dict[str, int] = {}
+
+    def feed(self, record) -> None:
+        self.events += 1
+        name = record.kind.name
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if record.kind is EventKind.PHASE:
+            self.phase = PHASE_NAMES.get(record.value, f"phase-{record.value}")
+            self.last_cycle = record.cycle
+            return
+        delta = record.cycle - self.last_cycle
+        self.last_cycle = record.cycle
+        if delta > 0:
+            self.phase_cycles[self.phase] = (
+                self.phase_cycles.get(self.phase, 0) + delta
+            )
+
+
+def _describe_record(record) -> str:
+    return (
+        f"cycle={record.cycle} {record.kind.name} "
+        f"value={record.value} extra={record.extra}"
+    )
+
+
+def diff_traces(before, after) -> TraceDiff:
+    """Align two traces event-by-event and report what changed.
+
+    Both streams are read exactly once, in lockstep — memory stays
+    O(#kinds + #phases) however long the traces are.  The modeled
+    pipeline is deterministic, so two runs of the *same* kernel on the
+    same code produce byte-identical event streams; any divergence is
+    a behavior change, and the first diverging event pins where the
+    executions split (the cheapest place to start a bisect).
+    """
+    from itertools import zip_longest
+
+    side_a, side_b = _DiffSide(), _DiffSide()
+    divergence: Optional[TraceDivergence] = None
+    for index, (rec_a, rec_b) in enumerate(
+        zip_longest(_reader(before), _reader(after))
+    ):
+        if rec_a is not None:
+            side_a.feed(rec_a)
+        if rec_b is not None:
+            side_b.feed(rec_b)
+        if divergence is None:
+            if rec_a is None or rec_b is None or (
+                (rec_a.cycle, rec_a.kind, rec_a.value, rec_a.extra)
+                != (rec_b.cycle, rec_b.kind, rec_b.value, rec_b.extra)
+            ):
+                divergence = TraceDivergence(
+                    index=index,
+                    before=None if rec_a is None else _describe_record(rec_a),
+                    after=None if rec_b is None else _describe_record(rec_b),
+                )
+    kind_deltas = [
+        TraceDelta(name, side_a.counts.get(name, 0), side_b.counts.get(name, 0))
+        for name in sorted(set(side_a.counts) | set(side_b.counts))
+        if side_a.counts.get(name, 0) != side_b.counts.get(name, 0)
+    ]
+    phase_deltas = [
+        TraceDelta(
+            name,
+            side_a.phase_cycles.get(name, 0),
+            side_b.phase_cycles.get(name, 0),
+        )
+        for name in sorted(set(side_a.phase_cycles) | set(side_b.phase_cycles))
+        if side_a.phase_cycles.get(name, 0) != side_b.phase_cycles.get(name, 0)
+    ]
+    return TraceDiff(
+        events=(side_a.events, side_b.events),
+        cycles=(side_a.last_cycle, side_b.last_cycle),
+        kind_deltas=kind_deltas,
+        phase_deltas=phase_deltas,
+        divergence=divergence,
+    )
 
 
 def trace_artifact_path(

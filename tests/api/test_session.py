@@ -167,7 +167,7 @@ class TestCrossCheck:
 
 class TestPublicSurface:
     def test_top_level_imports(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
         for name in (
             "ReasonSession",
             "ReasonService",
@@ -180,6 +180,11 @@ class TestPublicSurface:
             "TraceReader",
             "TraceWriter",
             "read_trace",
+            "MetricsRegistry",
+            "RequestSpan",
+            "SpanLog",
+            "diff_snapshots",
+            "render_prometheus",
         ):
             assert hasattr(repro, name)
 

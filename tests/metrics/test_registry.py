@@ -1,0 +1,263 @@
+"""Metrics primitives: exactness under contention, quantile accuracy,
+family/label enforcement, and snapshot-time callbacks."""
+
+import math
+import threading
+
+import pytest
+
+from repro.metrics import (
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ensure_registry,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_doubling_bounds(self):
+        bounds = log_buckets(1.0, 8.0, per_octave=1)
+        assert bounds[0] == 1.0
+        assert bounds[-1] >= 8.0
+        for a, b in zip(bounds, bounds[1:]):
+            assert b == pytest.approx(2.0 * a)
+
+    def test_per_octave_subdivides(self):
+        coarse = log_buckets(1e-3, 1.0, per_octave=1)
+        fine = log_buckets(1e-3, 1.0, per_octave=2)
+        assert len(fine) == 2 * len(coarse) - 1
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, per_octave=0)
+
+    def test_ratio_buckets_straddle_one(self):
+        assert RATIO_BUCKETS[0] < 1.0 < RATIO_BUCKETS[-1]
+
+
+class TestThreadSafety:
+    """Hammer one instrument from N threads; totals must be exact."""
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, work):
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_exact_under_contention(self):
+        counter = Counter()
+        self._hammer(lambda: [counter.inc() for _ in range(self.PER_THREAD)])
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = Gauge()
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                gauge.inc(2.0)
+                gauge.dec(1.0)
+
+        self._hammer(work)
+        assert gauge.value == self.THREADS * self.PER_THREAD
+
+    def test_histogram_exact_count_and_sum(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        values = [1e-5 * (i % 7 + 1) for i in range(self.PER_THREAD)]
+
+        def work():
+            for value in values:
+                hist.observe(value)
+
+        self._hammer(work)
+        assert hist.count == self.THREADS * self.PER_THREAD
+        assert hist.sum == pytest.approx(self.THREADS * sum(values))
+
+    def test_registry_get_or_create_race(self):
+        registry = MetricsRegistry()
+        instruments = []
+
+        def work():
+            counter = registry.counter("race_total", shard="0")
+            instruments.append(counter)
+            counter.inc()
+
+        self._hammer(work)
+        assert all(inst is instruments[0] for inst in instruments)
+        assert instruments[0].value == self.THREADS
+
+
+class TestCounterAndGauge:
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_set(self):
+        gauge = Gauge()
+        gauge.set(41.5)
+        assert gauge.value == 41.5
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_within_one_bucket_ratio(self):
+        # Log-bucket quantiles carry bounded *relative* error: at most
+        # one bucket ratio (2x at per_octave=1).
+        hist = Histogram(LATENCY_BUCKETS)
+        values = [1e-4 * (1.03 ** i) for i in range(400)]  # 0.1ms – ~13s
+        for value in values:
+            hist.observe(value)
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.99):
+            true = ordered[int(q * (len(ordered) - 1))]
+            estimate = hist.quantile(q)
+            assert true / 2.0 <= estimate <= true * 2.0
+
+    def test_extremes_clamp_to_observed(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        for value in (3e-4, 5e-4, 9e-4):
+            hist.observe(value)
+        assert hist.quantile(0.0) == pytest.approx(3e-4)
+        assert hist.quantile(1.0) == pytest.approx(9e-4)
+
+    def test_empty_histogram(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot_value()
+        assert snap["count"] == 0 and snap["buckets"] == []
+
+    def test_overflow_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(100.0)
+        snap = hist.snapshot_value()
+        assert snap["overflow"] == 1
+        assert hist.quantile(0.99) == 100.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram(LATENCY_BUCKETS).quantile(1.5)
+
+
+class TestRegistryFamilies:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing_total")
+
+    def test_label_set_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", shard="0")
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("thing_total", backend="gpu")
+
+    def test_same_labels_share_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("thing_total", shard="0", backend="gpu")
+        b = registry.counter("thing_total", backend="gpu", shard="0")
+        assert a is b
+        assert registry.counter("thing_total", shard="1", backend="gpu") is not a
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("")
+
+    def test_get_and_names(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a_total", shard="0")
+        registry.gauge("b_depth")
+        assert registry.names() == ["a_total", "b_depth"]
+        assert registry.get("a_total", shard="0") is counter
+        assert registry.get("a_total", shard="9") is None
+        assert registry.get("missing") is None
+
+
+class TestCallbacks:
+    def test_callback_evaluated_at_snapshot_only(self):
+        registry = MetricsRegistry()
+        calls = []
+        registry.register_callback(
+            "mirrored_total", lambda: calls.append(1) or 7.0, kind="counter"
+        )
+        assert calls == []
+        snapshot = registry.snapshot()
+        assert calls == [1]
+        assert snapshot["metrics"]["mirrored_total"]["series"][""] == 7.0
+
+    def test_callback_exception_reports_nan(self):
+        registry = MetricsRegistry()
+        registry.register_callback("broken", lambda: 1 / 0)
+        value = registry.snapshot()["metrics"]["broken"]["series"][""]
+        assert math.isnan(value)
+
+    def test_duplicate_series_raises_with_hint(self):
+        registry = MetricsRegistry()
+        registry.register_callback("dup_total", lambda: 0.0, kind="counter")
+        with pytest.raises(ValueError, match="label the series"):
+            registry.register_callback("dup_total", lambda: 0.0, kind="counter")
+
+    def test_callback_cannot_shadow_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("owned_total")
+        with pytest.raises(ValueError):
+            registry.register_callback("owned_total", lambda: 0.0, kind="counter")
+        registry.register_callback("served", lambda: 0.0)
+        with pytest.raises(ValueError):
+            registry.gauge("served")
+
+    def test_histogram_callbacks_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().register_callback(
+                "h", lambda: 0.0, kind="histogram"
+            )
+
+
+class TestSnapshotSchema:
+    def test_versioned_and_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", shard="0").inc(3)
+        registry.histogram("h_seconds").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["version"] == 1
+        json.dumps(snapshot)  # must not raise
+        family = snapshot["metrics"]["h_seconds"]
+        series = family["series"][""]
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(0.25)
+        assert all(count > 0 for _, count in series["buckets"])
+
+
+class TestEnsureRegistry:
+    def test_resolution(self):
+        assert ensure_registry(None) is None
+        assert ensure_registry(False) is None
+        assert isinstance(ensure_registry(True), MetricsRegistry)
+        registry = MetricsRegistry()
+        assert ensure_registry(registry) is registry
+        with pytest.raises(TypeError):
+            ensure_registry("yes")

@@ -1,0 +1,261 @@
+"""Serving-path telemetry: spans, session/service instrumentation,
+calibrator residuals, bit-identity with metrics on, and stats
+serialization."""
+
+import pytest
+
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.service import ReasonService, ServiceStats
+from repro.api.session import ReasonSession
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.core.system.sharding import ShardComposition
+from repro.logic.generators import random_ksat
+from repro.metrics import MetricsRegistry, RequestSpan, SpanLog
+from repro.pc.learn import random_circuit
+
+
+def _kernels():
+    return [random_ksat(20, 80, seed=seed) for seed in range(2)] + [
+        random_circuit(5, depth=2, sum_children=2, seed=1)
+    ]
+
+
+class TestSessionMetrics:
+    def test_off_by_default(self):
+        session = ReasonSession()
+        assert session.metrics is None
+        report = session.run(random_ksat(12, 40, seed=0))
+        assert report.cycles > 0
+
+    def test_reports_bit_identical_with_metrics_on(self):
+        kernel = random_ksat(30, 120, seed=5)
+        plain = ReasonSession().run(kernel)
+        metered = ReasonSession(metrics=True).run(kernel)
+        assert metered.cycles == plain.cycles
+        assert metered.seconds == plain.seconds
+        assert metered.energy_j == plain.energy_j
+        assert metered.result == plain.result
+
+    def test_compile_and_run_instruments(self):
+        session = ReasonSession(metrics=True)
+        kernel = random_ksat(16, 56, seed=2)
+        session.run(kernel)
+        session.run(kernel)  # warm: no second compile observation
+        snap = session.metrics.snapshot()["metrics"]
+        assert snap["reason_compile_seconds"]["series"][""]["count"] == 1
+        assert snap["reason_runs_total"]["series"]["backend=reason"] == 2
+        assert snap["reason_run_seconds"]["series"]["backend=reason"]["count"] == 2
+        assert snap["reason_prepare_calls_total"]["series"][""] == 1
+        assert snap["reason_cache_misses_total"]["series"][""] == 1
+        assert snap["reason_cache_local_hits_total"]["series"][""] == 1
+        assert snap["reason_cache_artifacts"]["series"][""] == 1
+
+    def test_session_fills_caller_span(self):
+        session = ReasonSession(metrics=True)
+        kernel = random_ksat(16, 56, seed=3)
+        cold = RequestSpan()
+        report = session.run(kernel, span=cold)
+        assert cold.compile_s > 0.0 and cold.execute_s > 0.0
+        assert cold.cache_hit is False
+        assert cold.backend == "reason" and cold.kind == "cnf"
+        warm = RequestSpan()
+        session.run(kernel, span=warm)
+        assert warm.cache_hit is True and warm.compile_s == 0.0
+        assert cold.complete(report).status == "ok"
+        assert cold.actual_s == report.seconds
+
+    def test_span_works_without_registry(self):
+        # span= is independent of metrics=: a plain session still
+        # fills the legs (the instrumented path triggers on either).
+        session = ReasonSession()
+        span = RequestSpan()
+        session.run(random_ksat(12, 40, seed=4), span=span)
+        assert span.execute_s > 0.0
+
+    def test_shared_registry_needs_distinct_labels(self):
+        registry = MetricsRegistry()
+        ReasonSession(metrics=registry, metrics_labels={"shard": "0"})
+        with pytest.raises(ValueError):
+            ReasonSession(metrics=registry, metrics_labels={"shard": "0"})
+        ReasonSession(metrics=registry, metrics_labels={"shard": "1"})
+
+    def test_bad_metrics_argument(self):
+        with pytest.raises(TypeError):
+            ReasonSession(metrics="on")
+
+
+class TestFingerprintExclusion:
+    """Observation knobs must never split the compile cache."""
+
+    def test_span_and_trace_not_in_fingerprint(self):
+        kernel = random_ksat(14, 48, seed=6)
+        adapter = adapter_for(kernel)
+        base = adapter.fingerprint(kernel, RunOptions(), DEFAULT_CONFIG)
+        spanned = adapter.fingerprint(
+            kernel, RunOptions(span=RequestSpan(), trace=True), DEFAULT_CONFIG
+        )
+        assert spanned == base
+
+    def test_spanned_run_hits_plain_cache_entry(self):
+        session = ReasonSession()
+        kernel = random_ksat(14, 48, seed=7)
+        assert session.run(kernel).cache_hit is False
+        report = session.run(kernel, span=RequestSpan())
+        assert report.cache_hit is True
+        assert session.prepare_calls == 1
+
+
+class TestServiceMetrics:
+    def test_accessors_raise_when_off(self):
+        with ReasonService(shards=1) as service:
+            with pytest.raises(ValueError, match="without metrics="):
+                service.metrics()
+            with pytest.raises(ValueError, match="without metrics="):
+                service.spans()
+
+    def test_spans_cover_every_request(self):
+        kernels = _kernels()
+        with ReasonService(shards=2, metrics=True) as service:
+            futures = [
+                service.submit(kernels[i % len(kernels)]) for i in range(9)
+            ]
+            reports = [future.result(timeout=60) for future in futures]
+            service.drain()
+            spans = service.spans()
+            snap = service.metrics().snapshot()["metrics"]
+        assert len(spans) == 9
+        by_fp = {span.fingerprint for span in spans}
+        assert by_fp == {future.fingerprint for future in futures}
+        for span in spans:
+            assert span.status == "ok"
+            assert span.e2e_s >= span.execute_s > 0.0
+            assert span.queue_wait_s >= 0.0
+            assert 0 <= span.shard < 2
+            assert span.backend == "reason"
+            assert span.predicted_s > 0.0
+            assert span.latency_residual is not None
+            assert span.actual_s in {report.seconds for report in reports}
+        e2e = snap["reason_request_e2e_seconds"]["series"]["backend=reason"]
+        assert e2e["count"] == 9
+        assert snap["reason_service_admitted_total"]["series"][""] == 9
+        residual = snap["reason_request_latency_residual"]["series"]["backend=reason"]
+        assert residual["count"] == 9
+        assert snap["reason_costmodel_residual_ratio"]["series"]
+        # Shard callbacks mirror the counters exactly.
+        completed = sum(
+            snap["reason_shard_completed_total"]["series"][f"shard={i}"]
+            for i in range(2)
+        )
+        assert completed == 9
+
+    def test_failed_request_span(self):
+        with ReasonService(shards=1, metrics=True) as service:
+            bad = service.submit(random_ksat(8, 24, seed=7), backend="no-such")
+            with pytest.raises(KeyError):
+                bad.result(timeout=30)
+            service.drain()
+            spans = service.spans()
+            snap = service.metrics().snapshot()["metrics"]
+        (span,) = spans
+        assert span.status == "error"
+        assert "no-such" in span.error
+        # Failures stay out of the latency histograms.
+        assert "reason_request_e2e_seconds" not in snap
+
+    def test_cancelled_span(self):
+        kernels = _kernels()
+        with ReasonService(shards=1, metrics=True) as service:
+            # Pile up one shard's queue so the last request is still
+            # queued when we cancel it.  Cancellation can legitimately
+            # lose the race to the worker; the span must agree with
+            # whichever side won.
+            futures = [
+                service.submit(kernels[index % len(kernels)])
+                for index in range(8)
+            ]
+            cancelled = futures[-1].cancel()
+            service.drain()
+            spans = service.spans()
+        statuses = [span.status for span in spans]
+        assert len(spans) == 8
+        if cancelled:
+            assert statuses.count("cancelled") == 1
+            assert statuses.count("ok") == 7
+        else:
+            assert statuses.count("ok") == 8
+
+    def test_rejected_requests_counted(self):
+        from repro.api.service import ServiceClosed
+
+        service = ReasonService(shards=1, metrics=True)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(random_ksat(8, 24, seed=1))
+        snap = service.metrics().snapshot()["metrics"]
+        rejected = snap["reason_service_rejected_total"]["series"]
+        assert rejected["reason=closed"] == 1
+        assert rejected["reason=overloaded"] == 0
+
+    def test_shared_registry_across_services(self):
+        registry = MetricsRegistry()
+        with ReasonService(shards=1, metrics=registry) as service:
+            assert service.metrics() is registry
+        # A second service would collide on the unlabeled service
+        # counters — documented behavior, loud failure.
+        with pytest.raises(ValueError):
+            ReasonService(shards=1, metrics=registry)
+
+
+class TestSpanLog:
+    def test_bounded_ring(self):
+        log = SpanLog(maxlen=3)
+        for index in range(5):
+            log.append(RequestSpan(fingerprint=str(index)))
+        assert len(log) == 3
+        assert log.total == 5
+        assert [span.fingerprint for span in log.snapshot()] == ["2", "3", "4"]
+        assert [span.fingerprint for span in log.snapshot(last=2)] == ["3", "4"]
+        with pytest.raises(ValueError):
+            SpanLog(0)
+
+    def test_span_to_dict_round_trips_json(self):
+        import json
+
+        span = RequestSpan(fingerprint="abc", kind="cnf", backend="reason")
+        span.mark_started()
+        span.complete()
+        payload = json.loads(json.dumps(span.to_dict()))
+        assert payload["status"] == "ok"
+        assert payload["fingerprint"] == "abc"
+
+
+class TestStatsSerialization:
+    def test_service_stats_round_trip(self):
+        kernels = _kernels()
+        with ReasonService(shards=2, metrics=True) as service:
+            for index in range(6):
+                service.submit(kernels[index % len(kernels)]).result(timeout=60)
+            service.drain()
+            stats = service.stats()
+        restored = ServiceStats.from_dict(stats.to_dict())
+        assert restored == stats
+        assert restored.completed == 6
+        assert restored.makespan_s == pytest.approx(stats.makespan_s)
+        assert restored.warm_hit_rate == pytest.approx(stats.warm_hit_rate)
+        # And the dict itself is JSON-safe.
+        import json
+
+        json.dumps(stats.to_dict())
+
+    def test_zero_request_stats_compose_empty(self):
+        with ReasonService(shards=3) as service:
+            stats = service.stats()
+        assert stats.completed == 0
+        assert stats.makespan_s == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.composition == ShardComposition.empty(3)
+        assert ServiceStats.from_dict(stats.to_dict()) == stats
+
+    def test_composition_round_trip(self):
+        composition = ShardComposition.empty(2)
+        assert ShardComposition.from_dict(composition.to_dict()) == composition
