@@ -36,7 +36,13 @@ Package map:
   :class:`MetricsRegistry`, per-request :class:`RequestSpan` records
   (queue-wait/compile/execute/e2e plus predicted-vs-actual residuals),
   Prometheus-text/JSON exposition, and snapshot diffing via the
-  ``python -m repro.metrics`` CLI — zero overhead when off.
+  ``python -m repro.metrics`` CLI — zero overhead when off;
+* :mod:`repro.faults` — deterministic seeded fault injection
+  (:class:`FaultPlan`: compile/execute errors, latency, worker
+  crashes, store failures and on-disk corruption) exercising the
+  serving layer's resilience — supervised shard workers, bounded
+  retries, per-shard circuit breakers, and per-request deadlines
+  (:mod:`repro.api.resilience`).
 
 Quickstart::
 
@@ -50,20 +56,25 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     ArtifactStore,
     Backend,
     BatchResult,
+    CircuitBreaker,
     CompiledArtifact,
+    DeadlineExceeded,
     DiskStore,
     ExecutionReport,
     ReasonFuture,
     ReasonService,
     ReasonSession,
+    RetriesExhausted,
+    RetryPolicy,
     RunOptions,
     ServiceBatchResult,
+    ShardCrashed,
     SharedStore,
     list_backends,
     list_policies,
@@ -71,6 +82,9 @@ from repro.api import (  # noqa: E402  (public re-exports)
     register_backend,
     register_policy,
 )
+
+# After repro.api: the fault plan builds on the resilience taxonomy.
+from repro.faults import FaultInjected, FaultPlan  # noqa: E402
 from repro.costmodel import (  # noqa: E402  (public re-exports)
     Calibrator,
     CostEstimator,
@@ -116,6 +130,13 @@ __all__ = [
     "TraceReader",
     "TraceWriter",
     "read_trace",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "ShardCrashed",
+    "RetriesExhausted",
+    "FaultPlan",
+    "FaultInjected",
     "list_backends",
     "list_policies",
     "register_adapter",

@@ -16,7 +16,13 @@ backend — and a sharded service when one session isn't enough.
   over an optional shared store);
 * :mod:`store` — content-addressed artifact stores behind the shared
   cache level: in-process :class:`SharedStore` (cross-shard) and
-  pickled-file :class:`DiskStore` (cross-process, atomic writes).
+  pickled-file :class:`DiskStore` (cross-process, atomic writes);
+* :mod:`resilience` — the fault-tolerance policies the service runs
+  under: :class:`RetryPolicy` (bounded deterministic replays),
+  :class:`CircuitBreaker` (per-shard trip switch),
+  :class:`ResilientStore` (store trouble degrades to local caching),
+  and the deadline plumbing (:data:`DEADLINE_CLASSES`,
+  :func:`resolve_deadline`, :class:`DeadlineExceeded`).
 
 The time-aware policies route on :mod:`repro.costmodel` predictions:
 every service owns a :class:`~repro.costmodel.CostEstimator` that
@@ -43,6 +49,18 @@ from repro.api.backends import (
 )
 from repro.api.cache import CacheStats, CompileCache, content_key
 from repro.api.futures import ReasonFuture, wait_all
+from repro.api.resilience import (
+    DEADLINE_CLASSES,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilientStore,
+    RetriesExhausted,
+    RetryPolicy,
+    ShardCrashed,
+    TransientError,
+    WorkerCrash,
+    resolve_deadline,
+)
 from repro.api.store import ArtifactStore, DiskStore, SharedStore, make_store
 from repro.api.scheduler import (
     CacheAffinityPolicy,
@@ -112,4 +130,14 @@ __all__ = [
     "SharedStore",
     "DiskStore",
     "make_store",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilientStore",
+    "DeadlineExceeded",
+    "ShardCrashed",
+    "RetriesExhausted",
+    "TransientError",
+    "WorkerCrash",
+    "DEADLINE_CLASSES",
+    "resolve_deadline",
 ]

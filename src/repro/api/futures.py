@@ -71,6 +71,33 @@ class ReasonFuture(concurrent.futures.Future):
 def wait_all(
     futures: List[ReasonFuture], timeout: Optional[float] = None
 ) -> List[ExecutionReport]:
-    """Resolve many futures in submission order (blocking convenience)."""
-    concurrent.futures.wait(futures, timeout=timeout)
+    """Resolve many futures in submission order (blocking convenience).
+
+    On timeout, raises :class:`TimeoutError` naming how many futures
+    are still unresolved and which shards they sit on — and if some
+    *other* future in the batch already failed, chains that failure as
+    ``__cause__`` instead of masking it behind a generic timeout (the
+    failed request is usually *why* the batch stalled).
+    """
+    futures = list(futures)
+    done, not_done = concurrent.futures.wait(futures, timeout=timeout)
+    if not_done:
+        shards = sorted(
+            {getattr(future, "shard_index", -1) for future in not_done}
+        )
+        error = TimeoutError(
+            f"{len(not_done)} of {len(futures)} futures unresolved after "
+            f"{timeout}s (waiting on shard(s) {shards})"
+        )
+        failed = next(
+            (
+                future
+                for future in done
+                if not future.cancelled() and future.exception() is not None
+            ),
+            None,
+        )
+        if failed is not None:
+            raise error from failed.exception()
+        raise error
     return [future.result(timeout=0) for future in futures]

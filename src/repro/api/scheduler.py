@@ -79,6 +79,10 @@ class Request:
     neural_s: float
     predicted: Optional[PredictionMap] = None
     warm: bool = False
+    # Wall-clock budget the caller attached (resolved seconds; None =
+    # unbounded).  Admission rejects placements whose predicted
+    # completion already exceeds it; policies may also route on it.
+    deadline_s: Optional[float] = None
 
     def predicted_for(self, view: ShardView):
         """This request's prediction on one shard's substrate (its

@@ -35,6 +35,19 @@ each shard's completed work is composed through its own two-level
 GPU↔REASON pipeline, and the service makespan is the slowest shard's
 makespan (:func:`~repro.core.system.sharding.compose_shard_makespans`)
 — not wall time divided by N.
+
+The service also *survives* its shards (:mod:`repro.api.resilience`):
+a supervisor restarts crashed workers and requeues or fails their
+stranded requests (an admitted future always resolves — never hangs),
+transient failures replay under a bounded :class:`RetryPolicy`
+(results stay bit-identical, execution is deterministic), per-shard
+:class:`CircuitBreaker`\\ s route admission around repeatedly-failing
+shards, store trouble degrades to shard-local caching, and
+per-request deadlines (``submit(..., deadline_s=...)``) are enforced
+at admission, in queue, and around execution.  All of it is
+exercisable deterministically through ``faults=``
+(:class:`repro.faults.FaultPlan`) and gated by
+``benchmarks/bench_faults.py``.
 """
 
 from __future__ import annotations
@@ -44,13 +57,25 @@ import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Union
+from concurrent.futures import InvalidStateError
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.adapters import RunOptions, adapter_for
 from repro.api.backends import get_backend
 from repro.api.cache import CacheStats
 from repro.api.futures import ReasonFuture
+from repro.api.resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilientStore,
+    RetriesExhausted,
+    RetryPolicy,
+    ShardCrashed,
+    TransientError,
+    WorkerCrash,
+    resolve_deadline,
+)
 from repro.api.scheduler import Request, SchedulingPolicy, ShardView, get_policy
 from repro.api.session import ReasonSession
 from repro.api.store import ArtifactStore, make_store
@@ -68,8 +93,32 @@ class ServiceClosed(RuntimeError):
 
 
 class ServiceOverloaded(RuntimeError):
-    """Raised when admission times out on a full shard queue
-    (backpressure surfaced to the producer)."""
+    """Raised when admission rejects a request — a full shard queue
+    (backpressure) or a deadline no shard can meet.
+
+    Structured context rides as attributes so callers and dashboards
+    can tell shed-by-depth from shed-by-deadline apart:
+
+    * ``shard_index`` — the shard the policy chose (-1 if none);
+    * ``queue_depth`` — its pending requests at rejection time;
+    * ``backlog_s`` — its predicted seconds of unfinished work;
+    * ``reason`` — ``"queue-full"`` | ``"deadline"``.
+    """
+
+    def __init__(
+        self,
+        message: str = "service overloaded",
+        *,
+        shard_index: int = -1,
+        queue_depth: int = 0,
+        backlog_s: float = 0.0,
+        reason: str = "queue-full",
+    ):
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.queue_depth = queue_depth
+        self.backlog_s = backlog_s
+        self.reason = reason
 
 
 _SENTINEL = object()  # shutdown marker on the admission queues
@@ -86,10 +135,32 @@ class _WorkItem:
     future: ReasonFuture
     predicted_s: float = 0.0  # busy-time charged at admission, repaid on exit
     span: Optional[RequestSpan] = None  # live-telemetry record (metrics on)
+    # --- fault-tolerance state -------------------------------------------
+    deadline_s: Optional[float] = None  # admitted budget (relative seconds)
+    deadline_at: Optional[float] = None  # absolute monotonic expiry
+    attempts: int = 1  # executions dispatched (1 = the original)
+    started: bool = False  # the future entered RUNNING at least once
+    finished: bool = False  # terminal bookkeeping done (exactly once)
+    shard: Optional["_Shard"] = None  # current owner; reroute updates it
+    timer: Optional[threading.Timer] = None  # armed deadline watchdog
+    # Serializes the terminal transition: worker success/failure, the
+    # deadline timer, retry dispatch, and cancellation bookkeeping all
+    # race on one item — whoever flips `finished` under this lock does
+    # the shard accounting; everyone else backs off.  Lock order is
+    # item.lock -> shard.lock, never the reverse.
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class _Shard:
-    """One accelerator instance: session + bounded queue + worker thread."""
+    """One accelerator instance: session + bounded queue + worker thread.
+
+    The worker is *supervised*: any exception that escapes per-request
+    handling (a :class:`~repro.api.resilience.WorkerCrash` from a fault
+    plan, or a genuine bug) is treated as the thread dying — the dying
+    worker's last act is to call the service supervisor, which respawns
+    the worker and retries or fails the stranded request, so an
+    admitted future resolves even when its worker does not survive.
+    """
 
     def __init__(
         self,
@@ -98,23 +169,34 @@ class _Shard:
         max_queue: int,
         stats_window: Optional[int],
         backend: str = "reason",
-        observe=None,
+        service: "ReasonService" = None,
+        breaker: Optional[CircuitBreaker] = None,
         sink=None,
     ):
         self.index = index
         self.session = session
         self.backend = backend
-        self.observe = observe  # callback(shard, item, report) on success
+        self.service = service
+        self.breaker = breaker  # trips on consecutive transient faults
         self.sink = sink  # callback(span) on every span close (metrics on)
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
         self.lock = threading.Lock()
         # Serializes enqueues against close()'s sentinel, so an admitted
         # item can never land behind the shutdown marker and be orphaned.
         self.submit_lock = threading.Lock()
+        # Flipped (under self.lock) just before close() queues its
+        # sentinel.  Retry dispatch — which must never block on the
+        # submit lock — checks this under the same lock, so a retry
+        # either lands ahead of the sentinel or fails fast.
+        self.accepting = True
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        self.retries = 0  # replays dispatched after failures here
+        self.restarts = 0  # worker threads respawned by the supervisor
+        self.crashes = 0  # worker deaths observed on this shard
+        self.expired = 0  # requests failed by their deadline (⊆ failed)
         # Sum of admitted-but-unfinished predicted seconds (cost model's
         # view of this shard's backlog; what ShardView.busy_s reports).
         self.busy_s = 0.0
@@ -143,9 +225,46 @@ class _Shard:
             try:
                 if item is _SENTINEL:
                     return
-                self._execute(item)
+                try:
+                    self._execute(item)
+                except BaseException as crash:
+                    # The worker is dying (injected WorkerCrash, or a
+                    # real bug escaping per-request handling).  Hand
+                    # everything to the supervisor and exit.
+                    self._die(item, crash)
+                    return
             finally:
                 self.queue.task_done()
+
+    def _die(self, item: _WorkItem, crash: BaseException) -> None:
+        """The dying worker's trampoline into the service supervisor."""
+        with self.lock:
+            self.crashes += 1
+        try:
+            self.service._supervise_crash(self, item, crash)
+        except BaseException:
+            # Supervision must never strand the future: fail it
+            # directly as a last resort.
+            try:
+                self.service._finish_failure(
+                    item,
+                    ShardCrashed(
+                        f"shard {self.index} worker crashed", self.index
+                    ),
+                )
+            except BaseException:
+                pass
+
+    def _restart_worker(self) -> None:
+        with self.lock:
+            self.restarts += 1
+            generation = self.restarts
+        self.thread = threading.Thread(
+            target=self._work,
+            name=f"reason-shard-{self.index}-r{generation}",
+            daemon=True,
+        )
+        self.thread.start()
 
     def _repay_busy(self, item: _WorkItem) -> None:
         # Caller holds self.lock.  Clamp: float error must never leave
@@ -160,16 +279,48 @@ class _Shard:
             except Exception:
                 pass
 
+    def _claim(self, item: _WorkItem) -> bool:
+        """Transition the future toward RUNNING; False = nothing to do.
+
+        A retried item already made that transition on its first
+        attempt; a queued item may have been cancelled by the caller or
+        already resolved by its deadline timer.
+        """
+        if item.started:
+            return not item.future.done()
+        try:
+            running = item.future.set_running_or_notify_cancel()
+        except InvalidStateError:
+            # A deadline timer resolved the future while it was queued;
+            # the timer did the bookkeeping.
+            return False
+        if not running:
+            self.service._finish_cancel(item)  # cancelled while queued
+            return False
+        item.started = True
+        return True
+
     def _execute(self, item: _WorkItem) -> None:
-        if not item.future.set_running_or_notify_cancel():
-            with self.lock:  # cancelled while queued
-                self.cancelled += 1
-                self._repay_busy(item)
-            if item.span is not None:
-                self._close_span(item.span.cancel())
+        service = self.service
+        if item.deadline_at is not None and time.monotonic() >= item.deadline_at:
+            # Expired while queued: shed before spending execution on a
+            # request whose caller has already timed out.
+            service._finish_failure(
+                item,
+                DeadlineExceeded(
+                    f"request {item.fingerprint[:12]} expired in shard "
+                    f"{self.index}'s queue ({item.deadline_s}s deadline)",
+                    deadline_s=item.deadline_s or 0.0,
+                ),
+                expired=True,
+            )
             return
-        if item.span is not None:
-            item.span.mark_started()
+        if not self._claim(item):
+            return
+        if service._faults is not None:
+            service._faults.crash_fault(self.index)  # may raise WorkerCrash
+        if item.span is not None and item.span.started_at == 0.0:
+            item.span.mark_started()  # first pickup only; retries keep it
         try:
             report = self.session.run_prepared(
                 item.kernel,
@@ -178,29 +329,21 @@ class _Shard:
                 queries=item.queries,
                 fingerprint=item.fingerprint,
             )
+        except WorkerCrash:
+            raise  # worker death, not request failure — see _work
         except BaseException as exc:
-            with self.lock:
-                self.failed += 1
-                self._repay_busy(item)
-            if item.span is not None:
-                self._close_span(item.span.fail(exc))
-            item.future.set_exception(exc)
+            if self.breaker is not None and isinstance(
+                exc, (TransientError, ShardCrashed)
+            ):
+                # Only infrastructure faults feed the breaker: a storm
+                # of user errors (bad kernels, unknown backends) must
+                # not take a healthy shard out of rotation.
+                self.breaker.record_failure()
+            service._retry_or_fail(item, exc)
         else:
-            with self.lock:
-                self.completed += 1
-                self._repay_busy(item)
-                self.stage_times.append((item.neural_s, report.seconds))
-            if item.span is not None:
-                self._close_span(item.span.complete(report))
-            item.future.set_result(report)
-            # After set_result, and shielded: a defective cost model
-            # (user-supplied estimator) must never hang a caller or
-            # kill this worker thread — it only loses calibration.
-            if self.observe is not None:
-                try:
-                    self.observe(self, item, report)
-                except Exception:
-                    pass
+            if self.breaker is not None:
+                self.breaker.record_success()
+            service._finish_success(item, report)
 
 
 @dataclass
@@ -224,6 +367,11 @@ class ShardStats:
     makespan: PipelineResult
     backend: str = "reason"  # substrate this shard executes on
     busy_s: float = 0.0  # predicted seconds of unfinished admitted work
+    retries: int = 0  # replays dispatched after transient failures
+    restarts: int = 0  # worker threads respawned by the supervisor
+    crashes: int = 0  # worker deaths observed
+    expired: int = 0  # requests failed by their deadline (⊆ failed)
+    breaker: str = "disabled"  # circuit state: closed | half-open | open
 
     def to_dict(self) -> dict:
         """JSON-safe dict; :meth:`from_dict` round-trips it exactly
@@ -242,6 +390,11 @@ class ShardStats:
             "makespan": self.makespan.to_dict(),
             "backend": self.backend,
             "busy_s": self.busy_s,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "expired": self.expired,
+            "breaker": self.breaker,
         }
 
     @classmethod
@@ -259,6 +412,12 @@ class ShardStats:
             makespan=PipelineResult.from_dict(data["makespan"]),
             backend=str(data.get("backend", "reason")),
             busy_s=float(data.get("busy_s", 0.0)),
+            # PR 8 fields default so pre-fault-tolerance snapshots load.
+            retries=int(data.get("retries", 0)),
+            restarts=int(data.get("restarts", 0)),
+            crashes=int(data.get("crashes", 0)),
+            expired=int(data.get("expired", 0)),
+            breaker=str(data.get("breaker", "disabled")),
         )
 
 
@@ -286,6 +445,25 @@ class ServiceStats:
     @property
     def cancelled(self) -> int:
         return sum(shard.cancelled for shard in self.shards)
+
+    @property
+    def retries(self) -> int:
+        """Replays dispatched after transient failures, service-wide."""
+        return sum(shard.retries for shard in self.shards)
+
+    @property
+    def restarts(self) -> int:
+        """Worker threads the supervisor respawned, service-wide."""
+        return sum(shard.restarts for shard in self.shards)
+
+    @property
+    def crashes(self) -> int:
+        return sum(shard.crashes for shard in self.shards)
+
+    @property
+    def expired(self) -> int:
+        """Requests failed by their deadline (a subset of ``failed``)."""
+        return sum(shard.expired for shard in self.shards)
 
     @property
     def cache_hits(self) -> int:
@@ -459,6 +637,30 @@ class ReasonService:
     span_log:
         How many completed spans :meth:`spans` retains (a bounded ring,
         like ``stats_window``).  Ignored unless metrics are on.
+    retry:
+        :class:`~repro.api.resilience.RetryPolicy` for transient
+        failures (injected faults, worker crashes): bounded replays
+        with deterministic backoff, optionally rerouted to another
+        shard.  Retried successes are bit-identical to first-try
+        successes (execution is deterministic).  ``None`` disables
+        retries; the default allows 3 attempts with no backoff.
+        Request-inherent errors (bad kernel, unknown backend) are
+        never retried.
+    breaker:
+        Per-shard :class:`~repro.api.resilience.CircuitBreaker`
+        configuration: ``True`` (default) gives every shard a breaker
+        with default thresholds, ``None``/``False`` disables them, a
+        callable is invoked once per shard as a factory.  Tripped
+        shards are routed around at admission and by retry placement;
+        when *every* breaker is open the service fails open (serves
+        anyway) rather than rejecting all traffic.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` — the deterministic
+        chaos schedule the resilience machinery is tested against.
+        Injects compile/execute errors, latency, worker crashes, and
+        (with ``store=``) store faults and on-disk corruption.  Zero
+        overhead when None (the default): one attribute check per
+        hook.
     """
 
     def __init__(
@@ -475,6 +677,9 @@ class ReasonService:
         trace_dir: Union[None, str, "os.PathLike"] = None,
         metrics: Union[None, bool, MetricsRegistry] = None,
         span_log: int = 4096,
+        retry: Optional[RetryPolicy] = RetryPolicy(),
+        breaker: Union[None, bool, Callable[[], CircuitBreaker]] = True,
+        faults: Optional["FaultPlan"] = None,  # noqa: F821
     ):
         if isinstance(shards, int):
             backends = ["reason"] * shards
@@ -498,9 +703,39 @@ class ReasonService:
             )
         self.cost_model = cost_model or CostEstimator(config=config)
         self._cache_enabled = cache
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy or None, "
+                f"not {type(retry).__name__}"
+            )
+        self._retry = retry
+        if breaker is True:
+            breaker_factory: Optional[Callable[[], CircuitBreaker]] = (
+                CircuitBreaker
+            )
+        elif breaker in (None, False):
+            breaker_factory = None
+        elif callable(breaker):
+            breaker_factory = breaker
+        else:
+            raise TypeError(
+                "breaker must be True/False/None or a zero-arg factory "
+                f"returning a CircuitBreaker, not {type(breaker).__name__}"
+            )
+        self._faults = faults
         # One store instance resolved here and handed to every shard:
         # the shard-local LRUs stay private, the shared level is common.
-        self.store = make_store(store)
+        # Layering: ResilientStore(ChaosStore(real store)) — injected
+        # faults strike the real store, the resilient wrapper absorbs
+        # them (and real-world store errors) into local-only caching.
+        inner_store = make_store(store)
+        if inner_store is not None and hasattr(faults, "store_fault"):
+            from repro.faults.store import ChaosStore
+
+            inner_store = ChaosStore(inner_store, faults)
+        self.store = (
+            ResilientStore(inner_store) if inner_store is not None else None
+        )
         self.trace_dir = None
         if trace_dir is not None:
             from pathlib import Path
@@ -523,11 +758,13 @@ class ReasonService:
                     store=self.store,
                     metrics=self._metrics,
                     metrics_labels={"shard": str(index)},
+                    faults=faults,
                 ),
                 max_queue,
                 stats_window,
                 backend=backend,
-                observe=self._observe,
+                service=self,
+                breaker=breaker_factory() if breaker_factory is not None else None,
                 sink=self._record_span if self._metrics is not None else None,
             )
             for index, backend in enumerate(backends)
@@ -536,6 +773,13 @@ class ReasonService:
             self._register_metrics()
         self._closed = False
         self._admission_lock = threading.Lock()  # serializes policy.select
+        # Admitted-but-unresolved futures, service-wide.  drain() waits
+        # on this condition instead of queue.join(): joins hang when a
+        # worker dies mid-item (task_done never comes) and don't cover
+        # deadline timers or retry backoff — the counter, decremented
+        # exactly once per item by whichever actor finishes it, does.
+        self._drain_cond = threading.Condition()
+        self._outstanding = 0
         # Fingerprints confirmed store-resident: content-addressed
         # artifacts never change under a key, so one positive probe
         # answers every repeat — admission stats a DiskStore at most
@@ -614,21 +858,40 @@ class ReasonService:
                 "Requests rejected at admission, by reason.",
                 reason=reason,
             )
-            for reason in ("closed", "overloaded")
+            for reason in ("closed", "overloaded", "deadline")
         }
         for shard in self._shards:
             labels = {"shard": str(shard.index)}
-            for field, help_text in (
+            for field_name, help_text in (
                 ("submitted", "Requests admitted to this shard."),
                 ("completed", "Requests this shard executed successfully."),
                 ("failed", "Requests that raised on this shard."),
                 ("cancelled", "Requests cancelled while queued."),
+                ("retries", "Replays dispatched after transient failures."),
+                ("restarts", "Worker threads respawned by the supervisor."),
+                ("crashes", "Worker deaths observed on this shard."),
+                ("expired", "Requests failed by their deadline."),
             ):
                 registry.register_callback(
-                    f"reason_shard_{field}_total",
-                    lambda s=shard, f=field: getattr(s, f),
+                    f"reason_shard_{field_name}_total",
+                    lambda s=shard, f=field_name: getattr(s, f),
                     kind="counter",
                     help=help_text,
+                    **labels,
+                )
+            if shard.breaker is not None:
+                registry.register_callback(
+                    "reason_shard_breaker_state",
+                    lambda s=shard: s.breaker.state_code,
+                    kind="gauge",
+                    help="Circuit state: 0=closed, 1=half-open, 2=open.",
+                    **labels,
+                )
+                registry.register_callback(
+                    "reason_shard_breaker_trips_total",
+                    lambda s=shard: s.breaker.trips,
+                    kind="counter",
+                    help="Times this shard's breaker tripped open.",
                     **labels,
                 )
             registry.register_callback(
@@ -652,6 +915,39 @@ class ReasonService:
                 kind="gauge",
                 help="Artifacts resident in the shared store.",
             )
+            registry.register_callback(
+                "reason_store_errors_total",
+                lambda: self.store.errors,
+                kind="counter",
+                help="Shared-store operations that raised (degraded to "
+                "miss/no-op by the resilient wrapper).",
+            )
+            registry.register_callback(
+                "reason_store_degraded_total",
+                lambda: self.store.degraded,
+                kind="counter",
+                help="Store operations skipped while its breaker was open "
+                "(local-only caching).",
+            )
+            # DiskStore corrupt-entry misses, proxied through the
+            # wrappers; in-memory stores have no such counter.
+            if getattr(self.store, "corrupt_misses", None) is not None:
+                registry.register_callback(
+                    "reason_store_corrupt_misses_total",
+                    lambda: self.store.corrupt_misses,
+                    kind="counter",
+                    help="Corrupt/incompatible store entries degraded to "
+                    "misses (silent until counted here).",
+                )
+        if self._faults is not None and hasattr(self._faults, "counts"):
+            for site in self._faults.counts():
+                registry.register_callback(
+                    "reason_faults_injected_total",
+                    lambda p=self._faults, s=site: p.injected(s),
+                    kind="counter",
+                    help="Faults injected by the active plan, by site.",
+                    site=site,
+                )
         self.cost_model.calibrator.attach_metrics(registry)
 
     def _span_hists(self, backend: str) -> Dict[str, object]:
@@ -740,6 +1036,7 @@ class ReasonService:
         queries: int = 1,
         neural_s: float = 0.0,
         timeout: Optional[float] = None,
+        deadline_s: Union[None, float, str] = None,
         **option_kwargs,
     ) -> ReasonFuture:
         """Admit one request; returns immediately with a future.
@@ -751,9 +1048,25 @@ class ReasonService:
         (backpressure).  ``timeout`` caps the wait — on expiry the
         request is rejected with :class:`ServiceOverloaded` and no
         state changes.
+
+        ``deadline_s`` gives the request a wall-clock budget — seconds,
+        or a named class from
+        :data:`~repro.api.resilience.DEADLINE_CLASSES`
+        (``"interactive"`` | ``"standard"`` | ``"batch"``).  A request
+        whose *predicted* completion (shard backlog + its own predicted
+        seconds) already exceeds the budget is rejected at admission
+        with :class:`ServiceOverloaded` (``reason="deadline"``); one
+        that expires while queued or executing resolves with
+        :class:`~repro.api.resilience.DeadlineExceeded`.
         """
         return self._submit(
-            kernel, RunOptions(**option_kwargs), backend, queries, neural_s, timeout
+            kernel,
+            RunOptions(**option_kwargs),
+            backend,
+            queries,
+            neural_s,
+            timeout,
+            deadline_s,
         )
 
     def submit_batch(
@@ -764,6 +1077,7 @@ class ReasonService:
         neural_s: Union[float, Sequence[float]] = 0.0,
         calibrations: Optional[Sequence] = None,
         timeout: Optional[float] = None,
+        deadline_s: Union[None, float, str] = None,
         **option_kwargs,
     ) -> List[ReasonFuture]:
         """Admit many requests (options parsed once); one future each.
@@ -793,7 +1107,13 @@ class ReasonService:
                     options = replace(base_options, calibration=calibrations[index])
                 futures.append(
                     self._submit(
-                        kernel, options, backend, queries, neural_times[index], timeout
+                        kernel,
+                        options,
+                        backend,
+                        queries,
+                        neural_times[index],
+                        timeout,
+                        deadline_s,
                     )
                 )
         except BaseException:
@@ -810,12 +1130,14 @@ class ReasonService:
         queries: int,
         neural_s: float,
         timeout: Optional[float],
+        deadline_s: Union[None, float, str] = None,
     ) -> ReasonFuture:
         if self._closed:
             self._count_reject("closed")
             raise ServiceClosed("cannot submit to a closed ReasonService")
         if queries < 1:
             raise ValueError("queries must be >= 1")
+        deadline_s = resolve_deadline(deadline_s)
         adapter = adapter_for(kernel)
         fingerprint = adapter.fingerprint(kernel, options, self.config)
         # trace=True on a service with a trace_dir resolves to a
@@ -863,6 +1185,7 @@ class ReasonService:
             neural_s=float(neural_s),
             predicted=predicted,
             warm=warm,
+            deadline_s=deadline_s,
         )
         with self._admission_lock:
             views = [
@@ -881,10 +1204,31 @@ class ReasonService:
                     f"policy {self.policy.name!r} chose shard {index} "
                     f"of {len(self._shards)}"
                 )
+            index = self._route_around_breakers(index, views)
             shard = self._shards[index]
             resolved = backend if backend is not None else shard.backend
             prediction = predicted.get(resolved)
             predicted_s = prediction.seconds if prediction is not None else 0.0
+            if deadline_s is not None:
+                # Deadline-aware admission (the SLO substrate): reject
+                # now — by predicted *seconds* of backlog, not queue
+                # length — rather than burn shard time on a request
+                # that cannot finish inside its budget.  Modeled
+                # seconds, the same currency busy_s is charged in.
+                backlog_s = views[index].busy_s
+                if backlog_s + predicted_s > deadline_s:
+                    self._count_reject("deadline")
+                    raise ServiceOverloaded(
+                        f"predicted completion on shard {index} is "
+                        f"{backlog_s + predicted_s:.6f}s "
+                        f"(backlog {backlog_s:.6f}s + request "
+                        f"{predicted_s:.6f}s), past the {deadline_s}s "
+                        f"deadline",
+                        shard_index=index,
+                        queue_depth=views[index].pending,
+                        backlog_s=backlog_s,
+                        reason="deadline",
+                    )
             span = None
             if self._metrics is not None:
                 span = RequestSpan(
@@ -917,7 +1261,11 @@ class ReasonService:
                 future,
                 predicted_s,
                 span=span,
+                deadline_s=deadline_s,
+                shard=shard,
             )
+            if deadline_s is not None:
+                item.deadline_at = time.monotonic() + deadline_s
             # Charge the placement while still holding the admission
             # lock: the next policy.select must see this request in the
             # shard's pending count and predicted busy time, or
@@ -926,6 +1274,11 @@ class ReasonService:
             with shard.lock:
                 shard.submitted += 1
                 shard.busy_s += item.predicted_s
+        # From here the item is admitted for drain() purposes: exactly
+        # one terminal path — _finish_* for served requests, the
+        # rollback below for rejected ones — calls _note_done for it.
+        with self._drain_cond:
+            self._outstanding += 1
         # The shard's submit lock orders this enqueue against close()'s
         # shutdown sentinel: either we win and the worker serves the
         # item before exiting, or close() wins and the re-check rejects
@@ -941,7 +1294,11 @@ class ReasonService:
             self._count_reject("overloaded")
             raise ServiceOverloaded(
                 f"shard {index} admission blocked behind a full queue "
-                f"({self.max_queue} requests) for {timeout}s"
+                f"({self.max_queue} requests) for {timeout}s",
+                shard_index=index,
+                queue_depth=shard.pending,
+                backlog_s=shard.busy_s,
+                reason="queue-full",
             )
         try:
             if self._closed:
@@ -958,25 +1315,292 @@ class ReasonService:
                 self._count_reject("overloaded")
                 raise ServiceOverloaded(
                     f"shard {index} admission queue full "
-                    f"({self.max_queue} requests) after {timeout}s"
+                    f"({self.max_queue} requests) after {timeout}s",
+                    shard_index=index,
+                    queue_depth=shard.pending,
+                    backlog_s=shard.busy_s,
+                    reason="queue-full",
                 ) from None
         finally:
             shard.submit_lock.release()
+        if item.deadline_at is not None:
+            # Armed only now that the item is committed to a queue; the
+            # timer covers queue wait, execution, and retry backoff
+            # alike.  Races with completion are benign: whoever flips
+            # `finished` first wins, the loser backs off.
+            timer = threading.Timer(
+                max(item.deadline_at - time.monotonic(), 0.0),
+                self._deadline_fire,
+                args=(item,),
+            )
+            timer.daemon = True
+            item.timer = timer
+            timer.start()
         if self._metrics is not None:
             self._m_admitted.inc()
         return future
 
-    @staticmethod
-    def _rollback_admission(shard: _Shard, item: _WorkItem) -> None:
+    def _rollback_admission(self, shard: _Shard, item: _WorkItem) -> None:
         """Undo the placement charged at selection time for a request
         that was rejected before reaching the shard's queue."""
         with shard.lock:
             shard.submitted -= 1
             shard._repay_busy(item)
+        self._note_done()
 
     def _count_reject(self, reason: str) -> None:
         if self._metrics is not None:
             self._m_rejected[reason].inc()
+
+    # ------------------------------------------------- terminal bookkeeping
+    #
+    # Exactly one of _finish_success / _finish_failure / _finish_cancel
+    # runs per served item: the `finished` flag under item.lock is the
+    # gate, and the worker's success/failure path, the deadline timer,
+    # retry dispatch, and cancellation all race through it.  Each path
+    # ends with _note_done, so when drain() returns every counter is
+    # final and `pending == 0`.
+
+    def _note_done(self) -> None:
+        with self._drain_cond:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._drain_cond.notify_all()
+
+    def _finish_success(self, item: _WorkItem, report: ExecutionReport) -> bool:
+        shard = item.shard
+        if item.attempts > 1:
+            # Observable but outside the report's identity: a retried
+            # success must stay bit-identical to a first-try success.
+            report.extras.setdefault("attempts", item.attempts)
+        with item.lock:
+            if item.finished:
+                return False
+            item.finished = True
+            if item.timer is not None:
+                item.timer.cancel()
+            with shard.lock:
+                shard.completed += 1
+                shard._repay_busy(item)
+                shard.stage_times.append((item.neural_s, report.seconds))
+            if item.span is not None:
+                item.span.attempts = item.attempts
+                shard._close_span(item.span.complete(report))
+            try:
+                item.future.set_result(report)
+            except InvalidStateError:
+                pass  # cancelled at the last instant; counters stand
+        # After set_result, and shielded: a defective cost model
+        # (user-supplied estimator) must never hang a caller or kill
+        # the calling worker thread — it only loses calibration.
+        try:
+            self._observe(shard, item, report)
+        except Exception:
+            pass
+        self._note_done()
+        return True
+
+    def _finish_failure(
+        self, item: _WorkItem, error: BaseException, expired: bool = False
+    ) -> bool:
+        shard = item.shard
+        with item.lock:
+            if item.finished:
+                return False
+            item.finished = True
+            if item.timer is not None:
+                item.timer.cancel()
+            with shard.lock:
+                shard.failed += 1
+                if expired:
+                    shard.expired += 1
+                shard._repay_busy(item)
+            if item.span is not None:
+                item.span.attempts = item.attempts
+                shard._close_span(item.span.fail(error))
+            try:
+                item.future.set_exception(error)
+            except InvalidStateError:
+                pass  # cancelled in the same instant; counters stand
+        self._note_done()
+        return True
+
+    def _finish_cancel(self, item: _WorkItem) -> bool:
+        """Bookkeeping for a request cancelled while queued (the future
+        itself already transitioned to CANCELLED under the caller)."""
+        shard = item.shard
+        with item.lock:
+            if item.finished:
+                return False
+            item.finished = True
+            if item.timer is not None:
+                item.timer.cancel()
+            with shard.lock:
+                shard.cancelled += 1
+                shard._repay_busy(item)
+            if item.span is not None:
+                item.span.attempts = item.attempts
+                shard._close_span(item.span.cancel())
+        self._note_done()
+        return True
+
+    def _deadline_fire(self, item: _WorkItem) -> None:
+        """The armed deadline watchdog: fail the request if it is still
+        unfinished when its budget expires — whether it is queued,
+        executing, or parked in retry backoff."""
+        self._finish_failure(
+            item,
+            DeadlineExceeded(
+                f"request {item.fingerprint[:12]} missed its "
+                f"{item.deadline_s}s deadline on shard "
+                f"{item.shard.index} (attempt {item.attempts})",
+                deadline_s=item.deadline_s or 0.0,
+            ),
+            expired=True,
+        )
+
+    # --------------------------------------------------------------- retry
+
+    def _retry_or_fail(self, item: _WorkItem, error: BaseException) -> None:
+        """Decide a failed attempt's fate: replay it under the retry
+        policy, or resolve the future with the (possibly wrapped)
+        error."""
+        policy = self._retry
+        retryable = policy is not None and policy.retryable(error)
+        if retryable and item.attempts < policy.max_attempts and not self._closed:
+            self._schedule_retry(item, error)
+            return
+        if retryable:
+            # A transient error the policy could not (or can no longer)
+            # replay: surface the budget, chain the real cause.
+            wrapped = RetriesExhausted(
+                f"request {item.fingerprint[:12]} failed after "
+                f"{item.attempts} attempt(s): "
+                f"{type(error).__name__}: {error}",
+                attempts=item.attempts,
+            )
+            wrapped.__cause__ = error
+            error = wrapped
+        self._finish_failure(item, error)
+
+    def _schedule_retry(self, item: _WorkItem, cause: BaseException) -> None:
+        with item.shard.lock:
+            item.shard.retries += 1
+        item.attempts += 1
+        delay = self._retry.delay_s(item.attempts, item.fingerprint)
+        if delay > 0.0:
+            timer = threading.Timer(
+                delay, self._dispatch_retry, args=(item, cause)
+            )
+            timer.daemon = True
+            timer.start()
+        else:
+            self._dispatch_retry(item, cause)
+
+    def _dispatch_retry(self, item: _WorkItem, cause: BaseException) -> None:
+        """Requeue a failed item for another attempt.
+
+        Runs on the failing worker's own thread (zero backoff) or a
+        backoff timer's — neither may ever block on admission: a worker
+        waiting on its own shard's full queue is a self-deadlock.  So
+        placement is `put_nowait` under the shard lock (fencing
+        close()'s `accepting` flip), and a retry that cannot land
+        immediately fails fast instead of hanging the future.
+        """
+        failure: Optional[BaseException] = None
+        with item.lock:
+            if item.finished:
+                return  # deadline fired (or close failed it) during backoff
+            source = item.shard
+            target = source
+            if self._retry.reroute:
+                target = self._pick_retry_target(source)
+            if target is not source:
+                # The admission accounting moves with the request, and
+                # so does the future's placement (the batch composer
+                # reads shard_index to attribute stage times).
+                with source.lock:
+                    source.submitted -= 1
+                    source._repay_busy(item)
+                with target.lock:
+                    target.submitted += 1
+                    target.busy_s += item.predicted_s
+                item.shard = target
+                item.future.shard_index = target.index
+                if item.span is not None:
+                    item.span.shard = target.index
+            with target.lock:
+                if not target.accepting:
+                    failure = RetriesExhausted(
+                        f"service closed while retrying request "
+                        f"{item.fingerprint[:12]} (attempt {item.attempts})",
+                        attempts=item.attempts,
+                    )
+                    failure.__cause__ = cause
+                else:
+                    try:
+                        target.queue.put_nowait(item)
+                    except queue.Full:
+                        failure = RetriesExhausted(
+                            f"retry shed: shard {target.index} queue is "
+                            f"full (attempt {item.attempts})",
+                            attempts=item.attempts,
+                        )
+                        failure.__cause__ = cause
+        if failure is not None:
+            self._finish_failure(item, failure)
+
+    def _pick_retry_target(self, source: _Shard) -> _Shard:
+        """Least-loaded admitting shard other than the one that just
+        failed; the failing shard itself when there is no alternative."""
+        candidates = [
+            shard
+            for shard in self._shards
+            if shard is not source
+            and (shard.breaker is None or shard.breaker.admits())
+        ]
+        if not candidates:
+            return source
+        return min(candidates, key=lambda s: (s.busy_s, s.pending, s.index))
+
+    # ---------------------------------------------------------- supervision
+
+    def _supervise_crash(
+        self, shard: _Shard, item: _WorkItem, crash: BaseException
+    ) -> None:
+        """Called by a dying worker as its last act: respawn the worker
+        first (so a same-shard requeue has someone to serve it), then
+        retry or fail the request the worker died holding.  Requests
+        still queued behind it are untouched — the replacement thread
+        drains the same queue."""
+        if shard.breaker is not None:
+            shard.breaker.record_failure()
+        shard._restart_worker()
+        error = ShardCrashed(
+            f"shard {shard.index} worker crashed while executing request "
+            f"{item.fingerprint[:12]} (attempt {item.attempts})",
+            shard_index=shard.index,
+        )
+        error.__cause__ = crash
+        self._retry_or_fail(item, error)
+
+    def _route_around_breakers(self, index: int, views: List[ShardView]) -> int:
+        """Override the policy's placement when the chosen shard's
+        breaker is open.  Fails open: when every shard is tripped the
+        original choice stands — serving degraded beats rejecting all
+        traffic."""
+        chosen = self._shards[index]
+        if chosen.breaker is None or chosen.breaker.admits():
+            return index
+        allowed = [
+            view
+            for view in views
+            if view.index != index
+            and self._shards[view.index].breaker.admits()
+        ]
+        if not allowed:
+            return index
+        return min(allowed, key=lambda v: (v.busy_s, v.pending, v.index)).index
 
     # ----------------------------------------------------------- execution
 
@@ -988,6 +1612,7 @@ class ReasonService:
         neural_s: Union[float, Sequence[float]] = 0.0,
         calibrations: Optional[Sequence] = None,
         timeout: Optional[float] = None,
+        deadline_s: Union[None, float, str] = None,
         **option_kwargs,
     ) -> ServiceBatchResult:
         """Admit a batch and await every report (asyncio coroutine).
@@ -1008,6 +1633,7 @@ class ReasonService:
             neural_s=neural_s,
             calibrations=calibrations,
             timeout=timeout,
+            deadline_s=deadline_s,
             **option_kwargs,
         )
         reports = list(
@@ -1043,10 +1669,26 @@ class ReasonService:
 
     # ----------------------------------------------------------- lifecycle
 
-    def drain(self) -> None:
-        """Block until every admitted request has been executed."""
-        for shard in self._shards:
-            shard.queue.join()
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every admitted request has resolved.
+
+        Covers queued work, in-flight executions, retry backoff, and
+        armed deadline timers: the outstanding counter reaches zero
+        only when every admitted future is terminal, so after drain()
+        the stats identity closes with ``pending == 0``.  Unlike a
+        queue join, this survives worker crashes — the supervisor's
+        terminal bookkeeping decrements the same counter the happy
+        path does.  Raises :class:`TimeoutError` if requests are still
+        unresolved after ``timeout`` seconds (None waits forever).
+        """
+        with self._drain_cond:
+            if not self._drain_cond.wait_for(
+                lambda: self._outstanding == 0, timeout
+            ):
+                raise TimeoutError(
+                    f"{self._outstanding} admitted request(s) still "
+                    f"unresolved after {timeout}s"
+                )
 
     def stats(self) -> ServiceStats:
         """Snapshot per-shard counters and the composed makespans.
@@ -1066,6 +1708,10 @@ class ReasonService:
                     shard.failed,
                     shard.cancelled,
                     shard.busy_s,
+                    shard.retries,
+                    shard.restarts,
+                    shard.crashes,
+                    shard.expired,
                 )
                 times = list(shard.stage_times)
             shard_tasks.append(times)
@@ -1081,7 +1727,17 @@ class ReasonService:
         for (shard, counters, retained), makespan in zip(
             snapshots, composition.per_shard
         ):
-            submitted, completed, failed, cancelled, busy_s = counters
+            (
+                submitted,
+                completed,
+                failed,
+                cancelled,
+                busy_s,
+                retries,
+                restarts,
+                crashes,
+                expired,
+            ) = counters
             stats.append(
                 ShardStats(
                     index=shard.index,
@@ -1098,6 +1754,15 @@ class ReasonService:
                     makespan=makespan,
                     backend=shard.backend,
                     busy_s=busy_s,
+                    retries=retries,
+                    restarts=restarts,
+                    crashes=crashes,
+                    expired=expired,
+                    breaker=(
+                        shard.breaker.state
+                        if shard.breaker is not None
+                        else "disabled"
+                    ),
                 )
             )
         return ServiceStats(
@@ -1112,9 +1777,21 @@ class ReasonService:
             self._closed = True
         for shard in self._shards:
             # Taking the submit lock waits out any in-progress enqueue,
-            # so the sentinel is guaranteed to be the queue's last item.
+            # and flipping `accepting` under the shard lock fences retry
+            # dispatch — so nothing can land behind the sentinel and be
+            # orphaned.
             with shard.submit_lock:
+                with shard.lock:
+                    shard.accepting = False
                 shard.queue.put(_SENTINEL)
         if wait:
             for shard in self._shards:
-                shard.thread.join()
+                # A crash racing shutdown may respawn the worker (the
+                # replacement drains the rest of the queue, sentinel
+                # included); join whichever thread currently serves the
+                # shard until no replacement appears.
+                while True:
+                    thread = shard.thread
+                    thread.join()
+                    if shard.thread is thread:
+                        break

@@ -66,6 +66,11 @@ class ReasonSession:
         (``{"shard": "0"}`` from the service).  Two sessions sharing a
         registry must be distinguished by labels, or registration of
         the second one's callbacks raises.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` injecting compile and
+        execution faults (and latency) into this session's run path —
+        how the serving layer's resilience is exercised.  Zero overhead
+        when None (the default): one attribute check per request.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class ReasonSession:
         store: Union[None, str, ArtifactStore] = None,
         metrics: Union[None, bool, MetricsRegistry] = None,
         metrics_labels: Optional[Dict[str, str]] = None,
+        faults: Optional["FaultPlan"] = None,  # noqa: F821
     ):
         if store is not None and not cache:
             raise ValueError(
@@ -91,6 +97,7 @@ class ReasonSession:
         self._lock = threading.Lock()  # guards _backends and _prepare_calls
         self.metrics: Optional[MetricsRegistry] = ensure_registry(metrics)
         self._metrics_labels: Dict[str, str] = dict(metrics_labels or {})
+        self._faults = faults
         # Per-backend (runs counter, run-seconds histogram) pairs,
         # created lazily on first use so only exercised backends
         # appear in the snapshot.
@@ -256,6 +263,8 @@ class ReasonSession:
         adapter = adapter_for(kernel)
 
         def compile_cold() -> CompiledArtifact:
+            if self._faults is not None:
+                self._faults.compile_fault(key or "")
             start = time.perf_counter()
             artifact = adapter.prepare(kernel, options, self.config)
             artifact.compile_s = time.perf_counter() - start
@@ -324,6 +333,8 @@ class ReasonSession:
         if span is None and self.metrics is None:
             # The production fast path: no timestamps, no instruments.
             artifact, cache_hit = self._compile(kernel, options, key=fingerprint)
+            if self._faults is not None:
+                self._faults.execute_fault(fingerprint or artifact.key)
             report = self._backend(backend).run(
                 artifact, config=self.config, queries=queries, options=options
             )
@@ -334,6 +345,8 @@ class ReasonSession:
         # reads, so reports stay bit-identical with telemetry on.
         compile_start = time.perf_counter()
         artifact, cache_hit = self._compile(kernel, options, key=fingerprint)
+        if self._faults is not None:
+            self._faults.execute_fault(fingerprint or artifact.key)
         execute_start = time.perf_counter()
         report = self._backend(backend).run(
             artifact, config=self.config, queries=queries, options=options

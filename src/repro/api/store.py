@@ -224,6 +224,11 @@ class DiskStore(ArtifactStore):
         super().__init__()
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        # Unreadable entries degrade to misses by design — this counter
+        # is the only trace they leave (exported as
+        # reason_store_corrupt_misses_total by the service).
+        self.corrupt_misses = 0
+        self._stats_lock = threading.Lock()
 
     def _file_for(self, key: str) -> Path:
         return self.path / f"{safe_store_key(key)}{self._SUFFIX}"
@@ -241,7 +246,10 @@ class DiskStore(ArtifactStore):
             # classes (AttributeError/ImportError), permissions: all
             # degrade to a miss (the caller recompiles and overwrites),
             # never a lookup error.  The store is a cache, not a
-            # source of truth.
+            # source of truth — but the degradation is counted, not
+            # silent.
+            with self._stats_lock:
+                self.corrupt_misses += 1
             return None
 
     def put(self, key: str, artifact: CompiledArtifact) -> None:

@@ -50,6 +50,24 @@ class ExecutionReport:
     def per_query_s(self) -> float:
         return self.seconds / max(self.queries, 1)
 
+    def identity(self) -> tuple:
+        """The deterministic content of this report — everything that
+        must be bit-identical between a first-try success and a retried
+        or differently-routed replay of the same request.  Excludes the
+        delivery circumstances (``cache_hit``, wall-clock ``compile_s``,
+        ``extras``), which legitimately differ across attempts."""
+        return (
+            self.backend,
+            self.kernel,
+            self.result,
+            self.cycles,
+            self.seconds,
+            self.energy_j,
+            self.power_w,
+            self.utilization,
+            self.queries,
+        )
+
     def scaled(self, factor: float) -> "ExecutionReport":
         """Lift a miniature-instance measurement to full task size
         (same calibration convention as ``ReasonTiming.scaled``)."""

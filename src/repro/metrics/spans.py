@@ -50,8 +50,9 @@ class RequestSpan:
     predicted_energy_j: float = 0.0
     warm: bool = False
     # Outcome.
-    status: str = "open"  # open | ok | error | cancelled
+    status: str = "open"  # open | ok | error | deadline | cancelled
     error: str = ""
+    attempts: int = 1  # executions dispatched (>1 = the request retried)
     cache_hit: bool = False
     actual_s: float = 0.0  # modeled execution seconds (report.seconds)
     actual_energy_j: float = 0.0
@@ -82,7 +83,13 @@ class RequestSpan:
 
     def fail(self, error: BaseException) -> "RequestSpan":
         self.finished_at = time.perf_counter()
-        self.status = "error"
+        # Deadline misses get their own outcome tag: they are the SLO
+        # signal, not generic failures.  By-name so this module never
+        # imports the serving layer.
+        if type(error).__name__ == "DeadlineExceeded":
+            self.status = "deadline"
+        else:
+            self.status = "error"
         self.error = f"{type(error).__name__}: {error}"
         return self
 
@@ -132,6 +139,7 @@ class RequestSpan:
             "queries": self.queries,
             "status": self.status,
             "error": self.error,
+            "attempts": self.attempts,
             "cache_hit": self.cache_hit,
             "warm": self.warm,
             "queue_wait_s": self.queue_wait_s,

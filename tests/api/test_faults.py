@@ -1,0 +1,472 @@
+"""Chaos suite: seeded fault injection against the fault-tolerant
+service — supervision, retries, deadlines, breakers, store degradation,
+and the accounting invariant under random fault plans."""
+
+import random
+import threading
+
+import pytest
+
+from repro import (
+    DeadlineExceeded,
+    FaultPlan,
+    ReasonService,
+    RetriesExhausted,
+    RetryPolicy,
+    ShardCrashed,
+)
+from repro.api import DiskStore, ServiceOverloaded, register_backend
+from repro.api.backends import Backend
+from repro.api.resilience import CircuitBreaker
+from repro.api.scheduler import SchedulingPolicy
+from repro.api.types import ExecutionReport
+from repro.faults import CORRUPT_BYTES, FaultInjected, corrupt_disk_entry
+from repro.hmm.model import HMM
+from repro.logic.generators import random_ksat
+from repro.pc.learn import random_circuit
+
+
+def mixed_kernels():
+    return [
+        random_ksat(10, 30, seed=0),
+        random_circuit(4, depth=2, seed=1),
+        HMM.random(3, 4, seed=2),
+        random_ksat(12, 40, seed=3),
+    ]
+
+
+class ChaosGateBackend(Backend):
+    """Blocks every run until released — pins a worker mid-request so
+    queue-level deadline behavior is deterministic."""
+
+    name = "chaos-gate"
+    gate = threading.Event()
+
+    def run(self, artifact, config=None, queries=1, options=None):
+        ChaosGateBackend.gate.wait(timeout=10.0)
+        return ExecutionReport(
+            backend=self.name, kernel=artifact.kind, result=1.0, cycles=1, seconds=1e-6
+        )
+
+
+register_backend("chaos-gate", ChaosGateBackend)
+
+
+class PinZeroPolicy(SchedulingPolicy):
+    """Always chooses shard 0 — isolates breaker route-around."""
+
+    name = "pin-zero"
+
+    def select(self, request, shards):
+        return 0
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=11, execute_error_rate=0.5)
+        b = FaultPlan(seed=11, execute_error_rate=0.5)
+        decisions_a, decisions_b = [], []
+        for _ in range(50):
+            try:
+                a.execute_fault("k")
+                decisions_a.append(False)
+            except FaultInjected:
+                decisions_a.append(True)
+            try:
+                b.execute_fault("k")
+                decisions_b.append(False)
+            except FaultInjected:
+                decisions_b.append(True)
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+        assert a.counts() == b.counts()
+
+    def test_sites_draw_independent_streams(self):
+        plan = FaultPlan(seed=1, compile_error_rate=1.0)
+        # Execute decisions never consume or trip the compile stream.
+        plan.execute_fault("k")
+        with pytest.raises(FaultInjected, match="compile"):
+            plan.compile_fault("k")
+        counts = plan.counts()
+        assert counts["compile"]["injected"] == 1
+        assert counts["execute"]["injected"] == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(execute_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(max_injections=-1)
+
+    def test_max_injections_caps_each_site(self):
+        plan = FaultPlan(seed=2, execute_error_rate=1.0, max_injections=2)
+        hits = 0
+        for _ in range(10):
+            try:
+                plan.execute_fault("k")
+            except FaultInjected:
+                hits += 1
+        assert hits == 2
+        assert plan.injected("execute") == 2
+        assert plan.injected() == 2
+
+
+class TestRetriesUnderChaos:
+    def test_injected_faults_retried_to_bit_identical_success(self):
+        kernels = mixed_kernels()
+        baseline = []
+        with ReasonService(shards=2) as service:
+            for kernel in kernels:
+                baseline.append(
+                    service.submit(kernel, queries=3).result(timeout=30).identity()
+                )
+        plan = FaultPlan(seed=3, execute_error_rate=1.0, max_injections=3)
+        with ReasonService(
+            shards=2, retry=RetryPolicy(max_attempts=5), faults=plan
+        ) as service:
+            futures = [service.submit(kernel, queries=3) for kernel in kernels]
+            reports = [future.result(timeout=30) for future in futures]
+            service.drain(timeout=15)
+            stats = service.stats()
+        assert plan.injected("execute") == 3
+        assert [report.identity() for report in reports] == baseline
+        assert stats.completed == len(kernels) and stats.failed == 0
+        assert stats.retries == 3
+        # The replay count is visible but outside the identity.
+        assert sum(report.extras.get("attempts", 1) - 1 for report in reports) == 3
+
+    def test_retries_disabled_surfaces_the_injected_fault(self):
+        plan = FaultPlan(seed=4, execute_error_rate=1.0, max_injections=1)
+        with ReasonService(shards=1, retry=None, faults=plan) as service:
+            future = service.submit(random_ksat(10, 30, seed=0))
+            with pytest.raises(FaultInjected):
+                future.result(timeout=30)
+            service.drain(timeout=15)
+            assert service.stats().failed == 1
+
+    def test_retries_exhausted_chains_the_last_fault(self):
+        plan = FaultPlan(seed=5, execute_error_rate=1.0)  # every attempt fails
+        with ReasonService(
+            shards=2, retry=RetryPolicy(max_attempts=3), faults=plan
+        ) as service:
+            future = service.submit(random_ksat(10, 30, seed=0))
+            with pytest.raises(RetriesExhausted) as excinfo:
+                future.result(timeout=30)
+            service.drain(timeout=15)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, FaultInjected)
+
+    def test_deadline_exceeded_is_never_retried(self):
+        plan = FaultPlan(seed=6, latency_rate=1.0, latency_s=0.3, max_injections=1)
+        with ReasonService(
+            shards=1, retry=RetryPolicy(max_attempts=5), faults=plan
+        ) as service:
+            future = service.submit(random_ksat(10, 30, seed=0), deadline_s=0.05)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            service.drain(timeout=15)
+            stats = service.stats()
+        assert stats.expired == 1
+        assert stats.retries == 0
+
+
+class TestSupervision:
+    def test_worker_crash_restarts_and_recovers(self):
+        plan = FaultPlan(seed=7, crash_rate=1.0, max_injections=1)
+        kernels = mixed_kernels()
+        with ReasonService(shards=2, faults=plan) as service:
+            futures = [service.submit(kernel) for kernel in kernels]
+            reports = [future.result(timeout=30) for future in futures]
+            service.drain(timeout=15)
+            stats = service.stats()
+        assert all(report.cycles > 0 for report in reports)
+        assert stats.crashes == 1 and stats.restarts == 1
+        assert stats.completed == len(kernels) and stats.failed == 0
+
+    def test_crash_without_retries_fails_fast_with_shard_crashed(self):
+        plan = FaultPlan(seed=8, crash_rate=1.0, max_injections=1)
+        with ReasonService(shards=1, retry=None, faults=plan) as service:
+            future = service.submit(random_ksat(10, 30, seed=0))
+            with pytest.raises(ShardCrashed) as excinfo:
+                future.result(timeout=30)
+            service.drain(timeout=15)
+            stats = service.stats()
+        assert excinfo.value.shard_index == 0
+        assert stats.crashes == 1 and stats.restarts == 1
+        assert stats.failed == 1
+
+    def test_drain_bounded_with_worker_killed_mid_stream(self):
+        # The acceptance drill: kill a worker while requests are queued
+        # behind the victim; drain() must still return (bounded), every
+        # future must be terminal, and queued work must complete.
+        plan = FaultPlan(seed=9, crash_rate=1.0, max_injections=1)
+        with ReasonService(shards=1, faults=plan) as service:
+            futures = [
+                service.submit(random_ksat(10 + i, 30 + 3 * i, seed=i))
+                for i in range(5)
+            ]
+            service.drain(timeout=15)  # raises TimeoutError if anything hangs
+            assert all(future.done() for future in futures)
+            reports = [future.result(timeout=0) for future in futures]
+            stats = service.stats()
+        assert len(reports) == 5
+        assert stats.completed == 5 and stats.restarts == 1
+
+    def test_close_joins_respawned_workers(self):
+        plan = FaultPlan(seed=10, crash_rate=1.0, max_injections=1)
+        service = ReasonService(shards=1, faults=plan)
+        future = service.submit(random_ksat(10, 30, seed=0))
+        assert future.result(timeout=30).cycles > 0
+        service.close()  # must join the replacement thread, not the corpse
+        for shard_index in range(service.num_shards):
+            assert not service._shards[shard_index].thread.is_alive()
+
+
+class TestDeadlines:
+    def test_admission_rejects_unmeetable_deadline(self):
+        with ReasonService(shards=1) as service:
+            kernel = random_ksat(14, 44, seed=9)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                service.submit(kernel, deadline_s=1e-9)
+            service.drain(timeout=15)
+            stats = service.stats()
+        error = excinfo.value
+        assert error.reason == "deadline"
+        assert error.shard_index == 0
+        assert stats.submitted == 0  # rejected before charging stuck
+
+    def test_named_deadline_classes_accepted(self):
+        with ReasonService(shards=1) as service:
+            report = service.submit(
+                random_ksat(10, 30, seed=0), deadline_s="batch"
+            ).result(timeout=30)
+        assert report.cycles > 0
+
+    def test_queued_request_shed_at_expiry(self):
+        ChaosGateBackend.gate.clear()
+        try:
+            with ReasonService(shards=1, max_queue=8) as service:
+                blocker = service.submit(
+                    random_ksat(10, 30, seed=0), backend="chaos-gate"
+                )
+                doomed = service.submit(
+                    random_ksat(12, 40, seed=1),
+                    backend="chaos-gate",
+                    deadline_s=0.05,
+                )
+                with pytest.raises(DeadlineExceeded):
+                    doomed.result(timeout=10)  # resolved while still queued
+                ChaosGateBackend.gate.set()
+                assert blocker.result(timeout=30).result == 1.0
+                service.drain(timeout=15)
+                stats = service.stats()
+        finally:
+            ChaosGateBackend.gate.set()
+        assert stats.expired == 1
+        assert stats.completed == 1
+
+    def test_batch_deadline_plumbing(self):
+        with ReasonService(shards=2) as service:
+            futures = service.submit_batch(
+                mixed_kernels(), queries=2, deadline_s="batch"
+            )
+            reports = [future.result(timeout=30) for future in futures]
+        assert len(reports) == 4
+
+
+class TestBreakers:
+    def test_tripped_shard_routed_around(self):
+        with ReasonService(
+            shards=2,
+            policy=PinZeroPolicy(),
+            breaker=lambda: CircuitBreaker(failure_threshold=1, reset_after_s=60.0),
+        ) as service:
+            first = service.submit(random_ksat(10, 30, seed=0))
+            assert first.result(timeout=30) is not None
+            assert first.shard_index == 0
+            service._shards[0].breaker.record_failure()  # trip it
+            rerouted = service.submit(random_ksat(12, 40, seed=1))
+            assert rerouted.result(timeout=30) is not None
+            assert rerouted.shard_index == 1
+            service.drain(timeout=15)
+            stats = service.stats()
+        assert stats.shards[0].breaker == "open"
+        assert stats.shards[1].breaker == "closed"
+
+    def test_all_tripped_fails_open(self):
+        with ReasonService(
+            shards=1,
+            breaker=lambda: CircuitBreaker(failure_threshold=1, reset_after_s=60.0),
+        ) as service:
+            service._shards[0].breaker.record_failure()
+            report = service.submit(random_ksat(10, 30, seed=0)).result(timeout=30)
+        assert report.cycles > 0  # degraded service beats no service
+
+    def test_consecutive_faults_trip_via_execution(self):
+        plan = FaultPlan(seed=12, execute_error_rate=1.0, max_injections=2)
+        with ReasonService(
+            shards=1,
+            retry=None,
+            faults=plan,
+            breaker=lambda: CircuitBreaker(failure_threshold=2, reset_after_s=60.0),
+        ) as service:
+            for seed in range(2):
+                future = service.submit(random_ksat(10, 30, seed=seed))
+                with pytest.raises(FaultInjected):
+                    future.result(timeout=30)
+            service.drain(timeout=15)
+            assert service._shards[0].breaker.state == "open"
+            assert service.stats().shards[0].breaker == "open"
+
+    def test_user_errors_do_not_trip_breakers(self):
+        with ReasonService(
+            shards=1,
+            retry=None,
+            breaker=lambda: CircuitBreaker(failure_threshold=1, reset_after_s=60.0),
+        ) as service:
+            future = service.submit(random_ksat(10, 30, seed=0), backend="no-such")
+            with pytest.raises(KeyError):
+                future.result(timeout=30)
+            service.drain(timeout=15)
+            assert service._shards[0].breaker.state == "closed"
+
+
+class TestStoreChaos:
+    def test_store_faults_degrade_to_local_caching(self, tmp_path):
+        plan = FaultPlan(seed=13, store_error_rate=1.0)
+        with ReasonService(
+            shards=2, store=f"disk:{tmp_path}", faults=plan
+        ) as service:
+            futures = [service.submit(kernel) for kernel in mixed_kernels()]
+            reports = [future.result(timeout=30) for future in futures]
+            service.drain(timeout=15)
+            assert service.store.errors > 0
+            assert service.store.breaker.state == "open"
+            assert service.store.degraded > 0
+            assert service.stats().failed == 0
+        assert all(report.cycles > 0 for report in reports)
+
+    def test_planted_corruption_counted_and_degraded_to_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        kernel = random_ksat(10, 30, seed=0)
+        with ReasonService(shards=1, store=store, metrics=True) as service:
+            fingerprint = service.submit(kernel).fingerprint
+            service.drain(timeout=15)
+            assert corrupt_disk_entry(store, fingerprint)  # plant garbage
+            assert store._file_for(fingerprint).read_bytes() == CORRUPT_BYTES
+            service.session_of(0).clear_cache()  # force the store read
+            report = service.submit(kernel).result(timeout=30)
+            service.drain(timeout=15)
+            snap = service.metrics().snapshot()["metrics"]
+        assert report.cycles > 0  # corrupt entry recompiled, not failed
+        assert store.corrupt_misses >= 1
+        series = snap["reason_store_corrupt_misses_total"]["series"]
+        assert series[""] == store.corrupt_misses
+
+    def test_injected_corruption_via_plan(self, tmp_path):
+        store = DiskStore(tmp_path)
+        plan = FaultPlan(seed=14, store_corrupt_rate=1.0)
+        kernel = random_ksat(10, 30, seed=0)
+        with ReasonService(shards=1, store=store, faults=plan) as service:
+            service.submit(kernel).result(timeout=30)
+            service.drain(timeout=15)
+            service.session_of(0).clear_cache()
+            report = service.submit(kernel).result(timeout=30)
+            service.drain(timeout=15)
+        assert plan.injected("corrupt") >= 1
+        assert store.corrupt_misses >= 1
+        assert report.cycles > 0
+
+
+class TestChaosTelemetry:
+    def test_fault_and_resilience_series_exported(self):
+        plan = FaultPlan(seed=15, execute_error_rate=1.0, max_injections=1)
+        with ReasonService(
+            shards=1, retry=RetryPolicy(max_attempts=3), faults=plan, metrics=True
+        ) as service:
+            report = service.submit(random_ksat(10, 30, seed=0)).result(timeout=30)
+            service.drain(timeout=15)
+            snap = service.metrics().snapshot()["metrics"]
+            spans = service.spans()
+        assert report.extras["attempts"] == 2
+        assert snap["reason_faults_injected_total"]["series"]["site=execute"] == 1
+        assert snap["reason_shard_retries_total"]["series"]["shard=0"] == 1
+        assert snap["reason_shard_breaker_state"]["series"]["shard=0"] in (0, 1, 2)
+        assert spans[-1].status == "ok" and spans[-1].attempts == 2
+
+    def test_deadline_outcome_tagged_on_span_and_counter(self):
+        plan = FaultPlan(seed=16, latency_rate=1.0, latency_s=0.3, max_injections=1)
+        with ReasonService(shards=1, faults=plan, metrics=True) as service:
+            future = service.submit(random_ksat(10, 30, seed=0), deadline_s=0.05)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            service.drain(timeout=15)
+            spans = service.spans()
+            snap = service.metrics().snapshot()["metrics"]
+            with pytest.raises(ServiceOverloaded):
+                service.submit(random_ksat(10, 30, seed=0), deadline_s=1e-9)
+            snap_after = service.metrics().snapshot()["metrics"]
+        assert spans[-1].status == "deadline"
+        assert snap["reason_shard_expired_total"]["series"]["shard=0"] == 1
+        rejected = snap_after["reason_service_rejected_total"]["series"]
+        assert rejected["reason=deadline"] == 1
+
+    def test_stats_roundtrip_with_resilience_fields(self):
+        plan = FaultPlan(seed=17, crash_rate=1.0, max_injections=1)
+        with ReasonService(shards=2, faults=plan) as service:
+            for kernel in mixed_kernels():
+                service.submit(kernel).result(timeout=30)
+            service.drain(timeout=15)
+            stats = service.stats()
+        from repro.api import ServiceStats
+
+        clone = ServiceStats.from_dict(stats.to_dict())
+        assert clone.retries == stats.retries == 1
+        assert clone.restarts == stats.restarts == 1
+        assert clone.crashes == stats.crashes == 1
+        assert [s.breaker for s in clone.shards] == [
+            s.breaker for s in stats.shards
+        ]
+
+
+class TestAccountingInvariant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_submitted_equals_terminal_sum_under_chaos(self, seed):
+        rng = random.Random(seed)
+        plan = FaultPlan(
+            seed=seed,
+            compile_error_rate=rng.uniform(0.0, 0.3),
+            execute_error_rate=rng.uniform(0.0, 0.4),
+            crash_rate=rng.uniform(0.0, 0.2),
+            latency_rate=rng.uniform(0.0, 0.3),
+            latency_s=0.002,
+        )
+        kernels = [
+            random_ksat(8 + i % 5, 24 + 3 * (i % 5), seed=i) for i in range(12)
+        ]
+        with ReasonService(
+            shards=2, retry=RetryPolicy(max_attempts=3), faults=plan
+        ) as service:
+            futures = []
+            for index, kernel in enumerate(kernels):
+                deadline = 5.0 if index % 4 == 0 else None
+                try:
+                    futures.append(
+                        service.submit(kernel, deadline_s=deadline)
+                    )
+                except ServiceOverloaded:
+                    pass  # deadline shed at admission: no future, no charge
+            if futures:
+                futures[-1].cancel()  # may or may not win the race
+            service.drain(timeout=20)
+            stats = service.stats()
+            # Every admitted future is terminal — never pending/hung.
+            assert all(future.done() for future in futures)
+        for shard in stats.shards:
+            assert shard.submitted == (
+                shard.completed + shard.failed + shard.cancelled
+            ), f"seed {seed} shard {shard.index} leaks accounting"
+            assert shard.pending == 0
