@@ -37,6 +37,14 @@ Package map:
   (queue-wait/compile/execute/e2e plus predicted-vs-actual residuals),
   Prometheus-text/JSON exposition, and snapshot diffing via the
   ``python -m repro.metrics`` CLI — zero overhead when off;
+* :mod:`repro.analysis` — static program verification and project
+  idiom linting: :func:`verify_program` abstractly interprets compiled
+  VLIW streams against six invariant families (def-before-use
+  residency, spill/reload pairing, bank capacity, issue order, cycle
+  monotonicity, stats consistency) without executing; opt-in hooks
+  (``ReasonSession(verify=True)``, ``CompileCache(verifier=...)``)
+  keep bad programs out of caches and stores; the ``python -m
+  repro.analysis`` CLI verifies kernels and lints the source tree;
 * :mod:`repro.faults` — deterministic seeded fault injection
   (:class:`FaultPlan`: compile/execute errors, latency, worker
   crashes, store failures and on-disk corruption) exercising the
@@ -56,7 +64,7 @@ Quickstart::
         report = future.result()
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro.api import (  # noqa: E402  (public re-exports)
     ArtifactStore,

@@ -1,0 +1,47 @@
+"""Static analysis for the repro stack: program verifier + idiom lint.
+
+Two halves, one package:
+
+* :mod:`repro.analysis.verifier` — an abstract interpreter over the
+  compiler's :class:`~repro.core.compiler.program.Program` that checks
+  the schedule invariants (residency, spill/reload pairing, capacity,
+  issue order, cycle accounting, stats consistency) without executing.
+* :mod:`repro.analysis.lint` — AST lint rules for the hand-rolled
+  project idioms ruff cannot see (zero-overhead-when-off hooks,
+  deterministic time/randomness, lock discipline, the exception
+  taxonomy).
+
+``python -m repro.analysis verify|lint`` is the command-line face;
+:func:`artifact_verifier` is the publish-time hook for
+:class:`~repro.api.cache.CompileCache` / the artifact stores; and
+:mod:`repro.analysis.mutations` is the catalog of planted schedule
+bugs used to mutation-test the verifier itself.
+"""
+
+from repro.analysis.verifier import (
+    ERROR,
+    INVARIANTS,
+    WARNING,
+    Finding,
+    ProgramVerificationError,
+    VerifyReport,
+    artifact_verifier,
+    expected_energy_events,
+    verify_artifact,
+    verify_execution,
+    verify_program,
+)
+
+__all__ = [
+    "ERROR",
+    "INVARIANTS",
+    "WARNING",
+    "Finding",
+    "ProgramVerificationError",
+    "VerifyReport",
+    "artifact_verifier",
+    "expected_energy_events",
+    "verify_artifact",
+    "verify_execution",
+    "verify_program",
+]

@@ -62,6 +62,16 @@ class RunOptions:
     service attaches one per admitted request).  Like ``trace``, it is
     observation-only and deliberately excluded from the fingerprint —
     metrics must never split the compile cache.
+
+    ``verify`` opts into post-compile static verification
+    (:mod:`repro.analysis`): ``True`` runs the program verifier on the
+    freshly compiled artifact and raises
+    :class:`~repro.analysis.verifier.ProgramVerificationError` on any
+    error finding; ``False`` forces it off even when the session was
+    built with ``verify=True``; ``None`` defers to the session.  It
+    runs only on the cold compile path and — like ``trace``/``span`` —
+    is excluded from the fingerprint: a verified and an unverified
+    compile of the same kernel are the same artifact.
     """
 
     optimize: bool = True
@@ -71,6 +81,7 @@ class RunOptions:
     record_events: bool = False
     trace: object = None
     span: object = None
+    verify: Optional[bool] = None
 
     def calibration_key(self) -> object:
         if self.calibration is None:

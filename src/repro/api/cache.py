@@ -135,17 +135,25 @@ class CompileCache:
     :class:`~repro.api.store.ArtifactStore` instance or a spec string
     (``"shared"`` / ``"disk:<path>"``).  Without a store the cache
     behaves exactly like the original single-level LRU.
+
+    ``verifier`` attaches an optional publish-time check (e.g.
+    :func:`repro.analysis.artifact_verifier`): a callable invoked with
+    every *freshly compiled* artifact before it enters either cache
+    level.  A raising verifier keeps the bad artifact out of the cache
+    and the store entirely — hits never re-verify.
     """
 
     def __init__(
         self,
         capacity: Optional[int] = None,
         store: Union[None, str, ArtifactStore] = None,
+        verifier: Optional[Callable[[CompiledArtifact], None]] = None,
     ):
         if capacity is not None and capacity <= 0:
             raise ValueError("cache capacity must be positive (or None)")
         self.capacity = capacity
         self.store = make_store(store)
+        self.verifier = verifier
         self._lock = threading.RLock()
         self._stats = CacheStats()
         self._entries: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
@@ -235,6 +243,8 @@ class CompileCache:
         — they paid a wait, not a front end.  The factory runs outside
         the cache lock, so unrelated keys keep compiling in parallel.
         """
+        if self.verifier is not None:
+            factory = self._verified(factory)
         artifact = self._local_get(key)
         if artifact is not None:
             return artifact, True
@@ -263,6 +273,18 @@ class CompileCache:
                 self._stats.local_hits += 1
                 self._insert(key, artifact)
         return artifact, not compiled
+
+    def _verified(
+        self, factory: Callable[[], CompiledArtifact]
+    ) -> Callable[[], CompiledArtifact]:
+        """Wrap a compile factory with the publish-time verifier."""
+
+        def compile_and_verify() -> CompiledArtifact:
+            artifact = factory()
+            self.verifier(artifact)
+            return artifact
+
+        return compile_and_verify
 
     def _peek_local(self, key: str) -> Optional[CompiledArtifact]:
         with self._lock:

@@ -1783,7 +1783,10 @@ class ReasonService:
             with shard.submit_lock:
                 with shard.lock:
                     shard.accepting = False
-                shard.queue.put(_SENTINEL)
+                # Deliberate: the sentinel must land behind every
+                # admitted request, so it enqueues under the submit
+                # lock (unbounded queue — the put cannot block).
+                shard.queue.put(_SENTINEL)  # noqa: RPR003
         if wait:
             for shard in self._shards:
                 # A crash racing shutdown may respawn the worker (the

@@ -71,6 +71,14 @@ class ReasonSession:
         execution faults (and latency) into this session's run path —
         how the serving layer's resilience is exercised.  Zero overhead
         when None (the default): one attribute check per request.
+    verify:
+        Run the static program verifier (:mod:`repro.analysis`) on
+        every cold compile and raise
+        :class:`~repro.analysis.verifier.ProgramVerificationError` on
+        any error finding.  Off by default; per-request
+        ``RunOptions(verify=...)`` overrides the session setting either
+        way.  Cold-path only — cache hits and the execute path never
+        see it — and excluded from the compile fingerprint.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class ReasonSession:
         metrics: Union[None, bool, MetricsRegistry] = None,
         metrics_labels: Optional[Dict[str, str]] = None,
         faults: Optional["FaultPlan"] = None,  # noqa: F821
+        verify: bool = False,
     ):
         if store is not None and not cache:
             raise ValueError(
@@ -98,6 +107,7 @@ class ReasonSession:
         self.metrics: Optional[MetricsRegistry] = ensure_registry(metrics)
         self._metrics_labels: Dict[str, str] = dict(metrics_labels or {})
         self._faults = faults
+        self._verify = verify
         # Per-backend (runs counter, run-seconds histogram) pairs,
         # created lazily on first use so only exercised backends
         # appear in the snapshot.
@@ -261,6 +271,7 @@ class ReasonSession:
         options, config) so serving layers don't hash the kernel twice.
         """
         adapter = adapter_for(kernel)
+        verify = options.verify if options.verify is not None else self._verify
 
         def compile_cold() -> CompiledArtifact:
             if self._faults is not None:
@@ -269,6 +280,13 @@ class ReasonSession:
             artifact = adapter.prepare(kernel, options, self.config)
             artifact.compile_s = time.perf_counter() - start
             artifact.key = key or ""
+            if verify:
+                # Cold path only: hits and the execute path never pay
+                # for this, and the lazy import keeps repro.analysis
+                # out of sessions that never ask for it.
+                from repro.analysis import artifact_verifier
+
+                artifact_verifier(self.config)(artifact)
             with self._lock:
                 self._prepare_calls += 1
             if self._m_compile is not None:

@@ -60,6 +60,10 @@ class VLIWInstruction:
     pe: int = 0  # which tree PE executes this slot
     leaf_operands: Dict[int, int] = field(default_factory=dict)  # PE leaf pos -> DAG value id
     output_value: int = -1  # DAG node id this compute produces
+    #: DAG value id a LOAD/STORE/SPILL/RELOAD moves (-1 for COMPUTE/NOP).
+    #: Structured so tools (the static verifier in :mod:`repro.analysis`)
+    #: never have to parse ``comment`` strings to follow data movement.
+    value: int = -1
 
     @property
     def is_compute(self) -> bool:

@@ -160,6 +160,7 @@ def schedule_program(
                     InstructionKind.SPILL,
                     reads=[where],
                     comment=f"spill value {victim}",
+                    value=victim,
                 )
             )
             stats.spills += 1
@@ -171,12 +172,18 @@ def schedule_program(
                     InstructionKind.LOAD,
                     write=slot,
                     comment=f"load leaf {value}",
+                    value=value,
                 )
             )
             stats.loads += 1
         elif was_spilled:
             issued.append(
-                VLIWInstruction(InstructionKind.RELOAD, write=slot, comment=f"reload {value}")
+                VLIWInstruction(
+                    InstructionKind.RELOAD,
+                    write=slot,
+                    comment=f"reload {value}",
+                    value=value,
+                )
             )
             stats.reloads += 1
         return issued
@@ -243,7 +250,12 @@ def schedule_program(
                 victim = max(victims, key=lambda v: next_use_index.get(v, len(ordered) + 1))
                 where = banks.evict(victim)
                 program.instructions.append(
-                    VLIWInstruction(InstructionKind.SPILL, reads=[where], comment=f"spill {victim}")
+                    VLIWInstruction(
+                        InstructionKind.SPILL,
+                        reads=[where],
+                        comment=f"spill {victim}",
+                        value=victim,
+                    )
                 )
                 stats.spills += 1
                 out_slot = banks.allocate(block.output, out_bank)

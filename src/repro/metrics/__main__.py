@@ -27,6 +27,7 @@ import os
 import sys
 import time
 
+from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, add_version
 from repro.metrics.diff import diff_snapshots
 from repro.metrics.render import (
     load_snapshot,
@@ -45,7 +46,7 @@ def _show(args) -> int:
         print(render_json(snapshot))
     else:
         sys.stdout.write(render_pretty(snapshot))
-    return 0
+    return EXIT_OK
 
 
 def _diff(args) -> int:
@@ -56,14 +57,14 @@ def _diff(args) -> int:
     )
     if diff.clean:
         print(f"OK: {diff.compared} series compared, no differences")
-        return 0
+        return EXIT_OK
     for line in diff.describe():
         print(line)
     print(
         f"DIFFERS: {len(diff.changes)} change(s) across "
         f"{diff.compared} compared series"
     )
-    return 1
+    return EXIT_FAILURE
 
 
 def _watch(args) -> int:
@@ -95,7 +96,7 @@ def _watch(args) -> int:
                 if remaining <= 0:
                     break
         time.sleep(args.interval)
-    return 0
+    return EXIT_OK
 
 
 def _record(args) -> int:
@@ -135,7 +136,7 @@ def _record(args) -> int:
         f"wrote {args.out}: {len(snapshot['metrics'])} metric families, "
         f"{served} requests served on {args.shards} shard(s)"
     )
-    return 0
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -143,6 +144,7 @@ def main(argv=None) -> int:
         prog="python -m repro.metrics",
         description="Render, diff and watch REASON service metrics snapshots.",
     )
+    add_version(parser, "python -m repro.metrics")
     commands = parser.add_subparsers(dest="command", required=True)
 
     show = commands.add_parser("show", help="render a snapshot file")
@@ -201,10 +203,10 @@ def main(argv=None) -> int:
         return args.handler(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

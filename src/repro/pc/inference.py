@@ -114,7 +114,9 @@ def map_state(circuit: Circuit, evidence: Optional[Evidence] = None) -> Tuple[Di
             values[node.node_id] = best
             best_child[node.node_id] = best_idx
 
-    assignment: Dict[int, int] = dict({k: v for k, v in evidence.items() if v is not None})
+    assignment: Dict[int, int] = {
+        k: v for k, v in evidence.items() if v is not None
+    }
     stack: List[CircuitNode] = [circuit.root]
     while stack:
         node = stack.pop()

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, add_version
 from repro.trace.analyze import (
     bank_heatmap,
     cross_validate,
@@ -48,7 +49,7 @@ def _print_summary(args) -> int:
     print("counts:")
     for name, count in sorted(summary.counts.items(), key=lambda kv: -kv[1]):
         print(f"  {name:<14} {count}")
-    return 0
+    return EXIT_OK
 
 
 def _print_validate(args) -> int:
@@ -56,9 +57,9 @@ def _print_validate(args) -> int:
         summary = TraceReader(args.trace).validate()
     except TraceFormatError as error:
         print(f"INVALID: {error}")
-        return 1
+        return EXIT_FAILURE
     print(f"OK: {summary.events} events decode and match the footer counts")
-    return 0
+    return EXIT_OK
 
 
 def _print_phases(args) -> int:
@@ -71,7 +72,7 @@ def _print_phases(args) -> int:
         print("by phase:")
         for name, cycles in sorted(breakdown.by_phase.items(), key=lambda kv: -kv[1]):
             print(f"  {name:<16}{cycles:>12}")
-    return 0
+    return EXIT_OK
 
 
 def _print_heatmap(args) -> int:
@@ -95,7 +96,7 @@ def _print_heatmap(args) -> int:
         print(f"{'PE':>6}{'computes':>12}")
         for pe in sorted(heat.compute_by_pe):
             print(f"{pe:>6}{heat.compute_by_pe[pe]:>12}")
-    return 0
+    return EXIT_OK
 
 
 def _print_hist(args) -> int:
@@ -109,7 +110,7 @@ def _print_hist(args) -> int:
         bar = "#" * max(0, round(40 * count / peak)) if peak else ""
         lo = index * hist.bucket_cycles
         print(f"{lo:>10} {count:>8}  {bar}")
-    return 0
+    return EXIT_OK
 
 
 def _print_dump(args) -> int:
@@ -129,7 +130,7 @@ def _print_dump(args) -> int:
             break
     if printed == 0:
         print("no records matched")
-    return 0
+    return EXIT_OK
 
 
 def _print_diff(args) -> int:
@@ -139,11 +140,11 @@ def _print_diff(args) -> int:
             f"OK: traces match ({result.events[0]} events, "
             f"{result.cycles[0]} cycles)"
         )
-        return 0
+        return EXIT_OK
     for line in result.describe():
         print(line)
     print("DIFFERS: the traces record different executions")
-    return 1
+    return EXIT_FAILURE
 
 
 def _record_demo(args) -> int:
@@ -184,9 +185,9 @@ def _record_demo(args) -> int:
               f"report={check.report_value:<12} {flag}")
     if not validation.ok:
         print("FAILED: trace does not reproduce the execution report")
-        return 1
+        return EXIT_FAILURE
     print("cross-validation: trace reproduces the execution report exactly")
-    return 0
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -194,6 +195,7 @@ def main(argv=None) -> int:
         prog="python -m repro.trace",
         description="Offline analysis over REASON binary event traces.",
     )
+    add_version(parser, "python -m repro.trace")
     commands = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, doc in (
@@ -249,10 +251,10 @@ def main(argv=None) -> int:
         return args.handler(args)
     except TraceFormatError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

@@ -1,0 +1,98 @@
+"""The opt-in verification hooks: ``ReasonSession(verify=True)``,
+``RunOptions(verify=...)``, and the publish-time ``verifier=`` gates on
+:class:`CompileCache` / :class:`ArtifactStore`."""
+
+import pytest
+
+from repro import ReasonSession, SharedStore
+from repro.analysis import ProgramVerificationError, artifact_verifier
+from repro.analysis.mutations import apply_mutation
+from repro.api.adapters import RunOptions, adapter_for
+from repro.api.cache import CompileCache
+from repro.pc.learn import random_circuit
+
+from tests.conftest import TINY_REGFILE
+
+
+def _kernel(seed=13):
+    return random_circuit(8, depth=3, sum_children=3, seed=seed)
+
+
+class _FakeArtifact:
+    """Just enough of a CompiledArtifact for the cache/store gates."""
+
+    def __init__(self, program):
+        self.program = program
+        self.key = ""
+        self.compile_stats = None
+
+
+# ----------------------------------------------------------- session hook
+
+
+def test_session_verify_runs_clean_and_identical(tiny_regfile):
+    """Verification on the spill-heavy config neither raises nor
+    perturbs the report."""
+    kernel = _kernel()
+    plain = ReasonSession(config=tiny_regfile).run(kernel)
+    verified = ReasonSession(config=tiny_regfile, verify=True).run(kernel)
+    assert verified.cycles == plain.cycles
+    assert verified.energy_j == plain.energy_j
+    assert verified.result == plain.result
+
+
+def test_run_options_override_session_default(tiny_regfile):
+    # verify=True on a verify=False session, and the reverse, both run.
+    session = ReasonSession(config=tiny_regfile)
+    session.run(_kernel(seed=5), verify=True)
+    opted_out = ReasonSession(config=tiny_regfile, verify=True)
+    opted_out.run(_kernel(seed=6), verify=False)
+
+
+def test_verify_is_excluded_from_the_compile_fingerprint(tiny_regfile):
+    kernel = _kernel()
+    adapter = adapter_for(kernel)
+    assert adapter.fingerprint(
+        kernel, RunOptions(verify=True), tiny_regfile
+    ) == adapter.fingerprint(kernel, RunOptions(), tiny_regfile)
+
+
+def test_verify_runs_on_the_cold_path_only(tiny_regfile):
+    """A verified re-run of a cached kernel is a hit: one front-end
+    compile total, so hits never pay for verification."""
+    session = ReasonSession(config=tiny_regfile)
+    kernel = _kernel()
+    session.run(kernel)
+    assert session.prepare_calls == 1
+    session.run(kernel, verify=True)
+    assert session.prepare_calls == 1  # hit — the factory never ran
+
+
+# ----------------------------------------------------- cache/store gates
+
+
+def test_cache_verifier_keeps_bad_artifacts_out(
+    overflow_schedule, tiny_regfile
+):
+    program, stats = overflow_schedule
+    mutant, _ = apply_mutation("stale-reload", program, stats.schedule)
+    cache = CompileCache(verifier=artifact_verifier(tiny_regfile))
+    with pytest.raises(ProgramVerificationError):
+        cache.get_or_compile("bad", lambda: _FakeArtifact(mutant))
+    assert "bad" not in cache
+    # The same key still accepts a good compile afterwards.
+    artifact, hit = cache.get_or_compile(
+        "bad", lambda: _FakeArtifact(program)
+    )
+    assert not hit and artifact.program is program
+
+
+def test_store_verifier_gates_publishes(overflow_schedule, tiny_regfile):
+    program, stats = overflow_schedule
+    mutant, _ = apply_mutation("drop-spill", program, stats.schedule)
+    store = SharedStore(verifier=artifact_verifier(tiny_regfile))
+    with pytest.raises(ProgramVerificationError):
+        store.fetch_or_compile("k", lambda: _FakeArtifact(mutant))
+    assert len(store) == 0
+    store.fetch_or_compile("k", lambda: _FakeArtifact(program))
+    assert "k" in store

@@ -1,0 +1,87 @@
+"""Property-based soundness: every schedule the compiler emits — over
+random DAG kernels, across spill-pressure settings — verifies with
+zero findings.
+
+This is the contract the verifier is built on: it may only flag real
+invariant violations, so any finding on a freshly compiled program is
+either a compiler bug (the thing we want to catch) or a verifier
+false positive (which would poison the ``ReasonSession(verify=True)``
+hook).  Hypothesis explores kernel shapes the fixed corpus never
+will; shrunk counterexamples land in the failure message.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_program
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.core.compiler import compile_dag
+from repro.core.dag import circuit_to_dag
+from repro.pc.learn import random_circuit
+
+#: Spill-pressure axis: from "never spills" (the default 64x32 file)
+#: down to the conftest overflow config where most issues spill.
+PRESSURES = (
+    DEFAULT_CONFIG,
+    replace(DEFAULT_CONFIG, num_banks=4, regs_per_bank=6, num_pes=2),
+    replace(DEFAULT_CONFIG, num_banks=2, regs_per_bank=4, num_pes=2),
+    replace(DEFAULT_CONFIG, num_banks=2, regs_per_bank=3, num_pes=2),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_vars=st.integers(min_value=2, max_value=10),
+    depth=st.integers(min_value=1, max_value=3),
+    sum_children=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    pressure=st.integers(min_value=0, max_value=len(PRESSURES) - 1),
+)
+def test_compiled_schedules_always_verify_clean(
+    num_vars, depth, sum_children, seed, pressure
+):
+    config = PRESSURES[pressure]
+    circuit = random_circuit(
+        num_vars, depth=depth, sum_children=sum_children, seed=seed
+    )
+    dag, _ = circuit_to_dag(circuit)
+    program, stats = compile_dag(dag, config)
+    report = verify_program(program, config, stats=stats.schedule)
+    # Errors would mean a real compiler bug (or a verifier false
+    # positive); neither is tolerable on a fresh compile.
+    assert report.errors == [], [
+        f"{config.num_banks}x{config.regs_per_bank}: {f.describe()}"
+        for f in report.errors
+    ]
+    if report.starved_reads == 0:
+        assert report.findings == [], [
+            f.describe() for f in report.findings
+        ]
+    else:
+        # The only tolerated findings are the bank-starved warnings
+        # themselves — blocks whose same-bank operand demand exceeds
+        # regs_per_bank, which no schedule can keep resident.
+        assert len(report.warnings) == report.starved_reads
+        assert all(
+            f.invariant == "bank-capacity" and "bank-starved" in f.message
+            for f in report.warnings
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_vars=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_spilling_schedules_verify_clean_without_stats(num_vars, seed):
+    """The stats-free entry point (what the session hook uses when an
+    artifact carries no schedule stats) is just as sound."""
+    config = PRESSURES[-1]
+    circuit = random_circuit(num_vars, depth=3, sum_children=3, seed=seed)
+    dag, _ = circuit_to_dag(circuit)
+    program, _ = compile_dag(dag, config)
+    report = verify_program(program, config)
+    assert report.errors == [], [f.describe() for f in report.errors]
+    assert all("bank-starved" in f.message for f in report.warnings)

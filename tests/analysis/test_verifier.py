@@ -1,0 +1,285 @@
+"""The static program verifier: sound on real schedules, sharp on bugs."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    INVARIANTS,
+    ProgramVerificationError,
+    VerifyReport,
+    artifact_verifier,
+    expected_energy_events,
+    verify_artifact,
+    verify_execution,
+    verify_program,
+)
+from repro.analysis.mutations import (
+    CATALOG,
+    MutationNotApplicable,
+    apply_mutation,
+)
+from repro.core.arch.accelerator import ReasonAccelerator
+from repro.core.arch.config import DEFAULT_CONFIG
+from repro.core.arch.energy import EVENT_NAMES
+from repro.core.compiler import compile_dag
+from repro.core.compiler.program import InstructionKind, Program, VLIWInstruction
+from repro.core.dag import circuit_to_dag, default_leaf_inputs, hmm_to_dag
+from repro.hmm.model import HMM
+from repro.pc.learn import random_circuit
+
+from tests.conftest import TINY_REGFILE
+
+
+# ------------------------------------------------------------- soundness
+
+
+def test_overflow_kernel_verifies_clean(overflow_schedule, tiny_regfile):
+    """The canonical spill-heavy schedule has zero findings — spills,
+    reloads, ghost reads and all."""
+    program, stats = overflow_schedule
+    report = verify_program(program, tiny_regfile, stats=stats.schedule)
+    assert report.ok
+    assert report.findings == []
+    assert report.instructions == len(program.instructions)
+    assert report.computes == program.compute_count
+    # The output-allocation path evicts same-instruction operands on
+    # this kernel: the verifier must classify those as designed ghost
+    # reads, not stale-address errors.
+    assert report.ghost_reads > 0
+
+
+def test_default_config_corpus_verifies_clean():
+    for seed in range(4):
+        circuit = random_circuit(6, depth=2, sum_children=2, seed=seed)
+        dag, _ = circuit_to_dag(circuit)
+        program, stats = compile_dag(dag, DEFAULT_CONFIG)
+        report = verify_program(program, DEFAULT_CONFIG, stats=stats.schedule)
+        assert report.findings == [], [f.describe() for f in report.findings]
+
+
+def test_hmm_kernel_verifies_clean_under_pressure():
+    dag = hmm_to_dag(HMM.random(6, 4, seed=1), [0, 1, 2, 3])
+    program, stats = compile_dag(dag, TINY_REGFILE)
+    assert stats.schedule.spills > 0  # the config is actually starved
+    report = verify_program(program, TINY_REGFILE, stats=stats.schedule)
+    assert report.findings == []
+
+
+def test_verify_without_stats_skips_stats_checks(overflow_schedule, tiny_regfile):
+    program, _ = overflow_schedule
+    report = verify_program(program, tiny_regfile)
+    assert report.ok
+
+
+# ------------------------------------------------------ mutation killing
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_every_planted_mutation_is_caught(name, overflow_schedule, tiny_regfile):
+    """Each catalogued bug is flagged under its expected invariant."""
+    program, stats = overflow_schedule
+    mutation = CATALOG[name]
+    mutant, mutant_stats = apply_mutation(name, program, stats.schedule)
+    report = verify_program(mutant, tiny_regfile, stats=mutant_stats)
+    assert any(
+        f.severity == "error" and f.invariant == mutation.invariant
+        for f in report.findings
+    ), [f.describe() for f in report.findings]
+
+
+def test_mutations_do_not_touch_the_original(overflow_schedule, tiny_regfile):
+    program, stats = overflow_schedule
+    for name in CATALOG:
+        apply_mutation(name, program, stats.schedule)
+    report = verify_program(program, tiny_regfile, stats=stats.schedule)
+    assert report.findings == []
+
+
+def test_stale_reload_reconstruction_matches_pre_pr5_bug(
+    overflow_schedule, tiny_regfile
+):
+    """The flagged site names the spilled value and the fix."""
+    program, stats = overflow_schedule
+    mutant, mutant_stats = apply_mutation("stale-reload", program, stats.schedule)
+    assert len(mutant.instructions) == len(program.instructions) - 1
+    report = verify_program(mutant, tiny_regfile, stats=mutant_stats)
+    [finding] = report.errors
+    assert finding.invariant == "def-before-use"
+    assert "spilled and never reloaded" in finding.message
+    assert "RELOAD" in finding.hint
+    assert 0 <= finding.site < len(mutant.instructions)
+
+
+def test_mutation_not_applicable_on_spill_free_program():
+    circuit = random_circuit(6, depth=2, sum_children=2, seed=0)
+    dag, _ = circuit_to_dag(circuit)
+    program, stats = compile_dag(dag, DEFAULT_CONFIG)
+    assert stats.schedule.spills == 0
+    with pytest.raises(MutationNotApplicable):
+        apply_mutation("stale-reload", program, stats.schedule)
+
+
+def test_unknown_mutation_name_raises_keyerror(overflow_schedule):
+    program, stats = overflow_schedule
+    with pytest.raises(KeyError):
+        apply_mutation("no-such-bug", program, stats.schedule)
+
+
+# ------------------------------------------------- hand-built negatives
+
+
+def _compute(output, reads, cycle, operands=None):
+    return VLIWInstruction(
+        InstructionKind.COMPUTE,
+        reads=list(reads),
+        write=reads[0] if reads else (0, 0),
+        issue_cycle=cycle,
+        leaf_operands=dict(enumerate(operands or [])),
+        output_value=output,
+    )
+
+
+def test_undefined_operand_is_flagged():
+    program = Program(
+        instructions=[_compute(5, [(0, 0)], 0, operands=[3])]
+    )
+    report = verify_program(program, DEFAULT_CONFIG)
+    assert any(
+        f.invariant == "def-before-use" and "before any LOAD" in f.message
+        for f in report.errors
+    )
+
+
+def test_spill_of_nonresident_value_is_flagged():
+    program = Program(
+        instructions=[
+            VLIWInstruction(
+                InstructionKind.SPILL, reads=[(0, 0)], value=9
+            )
+        ]
+    )
+    report = verify_program(program, DEFAULT_CONFIG)
+    assert any(
+        f.invariant == "spill-reload-pairing" for f in report.errors
+    )
+
+
+def test_dead_reload_is_a_warning_not_an_error():
+    program = Program(
+        instructions=[
+            VLIWInstruction(
+                InstructionKind.LOAD, write=(0, 0), value=1
+            ),
+            VLIWInstruction(
+                InstructionKind.SPILL, reads=[(0, 0)], value=1
+            ),
+            VLIWInstruction(
+                InstructionKind.RELOAD, write=(0, 1), value=1
+            ),
+        ]
+    )
+    report = verify_program(program, DEFAULT_CONFIG)
+    assert report.ok  # warnings don't fail verification
+    assert any(
+        f.severity == "warning" and "no later use" in f.message
+        for f in report.warnings
+    )
+
+
+def test_report_describe_and_by_invariant(overflow_schedule, tiny_regfile):
+    program, stats = overflow_schedule
+    mutant, mutant_stats = apply_mutation("stale-reload", program, stats.schedule)
+    report = verify_program(mutant, tiny_regfile, stats=mutant_stats)
+    assert report.by_invariant() == {"def-before-use": 1}
+    lines = report.describe()
+    assert "1 error(s)" in lines[0]
+    assert any("stale" in line for line in lines[1:])
+    assert set(report.checked) == set(INVARIANTS)
+
+
+# ------------------------------------------------- execution consistency
+
+
+def test_static_energy_prediction_matches_execution(
+    overflow_schedule, tiny_regfile
+):
+    program, _ = overflow_schedule
+    accelerator = ReasonAccelerator(tiny_regfile)
+    before = {e: getattr(accelerator.energy, e) for e in EVENT_NAMES}
+    execution = accelerator.run_program(program, default_leaf_inputs(program.dag))
+    delta = {e: getattr(accelerator.energy, e) - before[e] for e in EVENT_NAMES}
+    expected = expected_energy_events(program)
+    report = verify_execution(
+        program,
+        execution,
+        tiny_regfile,
+        energy_delta={e: delta[e] for e in expected},
+    )
+    assert report.findings == [], [f.describe() for f in report.findings]
+
+
+def test_execution_mismatch_is_flagged(overflow_schedule, tiny_regfile):
+    program, _ = overflow_schedule
+    accelerator = ReasonAccelerator(tiny_regfile)
+    execution = accelerator.run_program(program, default_leaf_inputs(program.dag))
+    drifted = dataclasses.replace(execution, stalls=execution.stalls + 1)
+    report = verify_execution(program, drifted, tiny_regfile)
+    assert any(
+        f.invariant == "stats-consistency" and "stalls" in f.message
+        for f in report.errors
+    )
+    short = dataclasses.replace(execution, cycles=1)
+    report = verify_execution(program, short, tiny_regfile)
+    assert any("lower bound" in f.message for f in report.errors)
+
+
+def test_energy_event_drift_is_flagged(overflow_schedule, tiny_regfile):
+    program, _ = overflow_schedule
+    accelerator = ReasonAccelerator(tiny_regfile)
+    execution = accelerator.run_program(program, default_leaf_inputs(program.dag))
+    expected = expected_energy_events(program)
+    drifted = dict(expected)
+    drifted["sram_access"] += 1
+    report = verify_execution(
+        program, execution, tiny_regfile, energy_delta=drifted
+    )
+    assert any("sram_access" in f.message for f in report.errors)
+
+
+# --------------------------------------------------------- artifact hook
+
+
+def test_artifact_verifier_passes_good_artifact(overflow_schedule, tiny_regfile):
+    program, _ = overflow_schedule
+
+    class FakeArtifact:
+        key = "good"
+
+    artifact = FakeArtifact()
+    artifact.program = program
+    artifact_verifier(tiny_regfile)(artifact)  # no raise
+
+
+def test_artifact_verifier_raises_with_report(overflow_schedule, tiny_regfile):
+    program, stats = overflow_schedule
+    mutant, _ = apply_mutation("stale-reload", program, stats.schedule)
+
+    class FakeArtifact:
+        key = "bad"
+
+    artifact = FakeArtifact()
+    artifact.program = mutant
+    with pytest.raises(ProgramVerificationError) as excinfo:
+        artifact_verifier(tiny_regfile)(artifact)
+    assert isinstance(excinfo.value.report, VerifyReport)
+    assert excinfo.value.report.errors
+    assert "bad" in str(excinfo.value)
+
+
+def test_artifact_without_program_verifies_vacuously():
+    class TraceArtifact:
+        program = None
+
+    report = verify_artifact(TraceArtifact())
+    assert report.ok and report.instructions == 0
